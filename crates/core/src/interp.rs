@@ -1,0 +1,375 @@
+//! Structural reference interpreter for Einsum programs.
+//!
+//! Evaluates a [`Program`] densely while tracking each tensor's *structure*
+//! (which coordinates exist), exactly mirroring streaming-sparse semantics:
+//! unary non-linearities apply only to present coordinates (sparse softmax
+//! operates over the nonzero structure), intersections require all
+//! operands present, unions any. This is the oracle every compiled dataflow
+//! graph is verified against, mirroring the paper's verification "against a
+//! dense PyTorch implementation" (§8.1) while staying faithful to
+//! structure-dependent operators.
+//!
+//! Blocked (tile-carrying) programs are verified against model-specific
+//! dense references instead (see `fuseflow-models`); this interpreter
+//! rejects them.
+
+use crate::ir::{Access, IndexVar, OpKind, Program, ReduceOp, TensorId};
+use fuseflow_tensor::{DenseTensor, SparseTensor};
+use std::collections::HashMap;
+
+/// A dense value tensor plus its 0/1 structure mask.
+#[derive(Debug, Clone)]
+pub struct Structured {
+    /// Values (zero where absent).
+    pub vals: DenseTensor,
+    /// Structure: 1.0 where a coordinate exists.
+    pub mask: DenseTensor,
+}
+
+impl Structured {
+    /// Builds from a sparse tensor: structure = stored coordinates
+    /// (expanded blocks for blocked tensors; all coordinates for dense
+    /// formats).
+    pub fn from_sparse(t: &SparseTensor) -> Self {
+        let vals = t.to_dense();
+        let mut mask = DenseTensor::zeros(t.shape().to_vec());
+        if !t.format().has_compressed() {
+            mask = mask.map(|_| 1.0);
+        } else if t.is_blocked() {
+            let [b0, b1] = t.block();
+            // Every element of a stored block is present.
+            let mut coords = vec![0u32; 2];
+            let coo = structure_coo(t);
+            let _ = &mut coords;
+            for (c, _) in coo {
+                for r in 0..b0 {
+                    for cc in 0..b1 {
+                        mask.set(&[c[0] as usize * b0 + r, c[1] as usize * b1 + cc], 1.0);
+                    }
+                }
+            }
+        } else {
+            for (c, _) in t.to_coo() {
+                let idx: Vec<usize> = c.iter().map(|&x| x as usize).collect();
+                mask.set(&idx, 1.0);
+            }
+        }
+        Structured { vals, mask }
+    }
+}
+
+/// Stored block-grid coordinates of a blocked tensor.
+fn structure_coo(t: &SparseTensor) -> Vec<(Vec<u32>, f32)> {
+    // Walk levels directly: every stored position is structure.
+    let mut out = Vec::new();
+    fn walk(t: &SparseTensor, lvl: usize, parent: usize, coords: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, f32)>) {
+        for (c, child) in t.level(lvl).fiber(parent) {
+            coords.push(c);
+            if lvl + 1 == t.order() {
+                out.push((coords.clone(), 1.0));
+            } else {
+                walk(t, lvl + 1, child, coords, out);
+            }
+            coords.pop();
+        }
+    }
+    walk(t, 0, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Errors from interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// An input tensor had no binding.
+    MissingInput(String),
+    /// The program uses blocked tensors (verified elsewhere).
+    Blocked(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::MissingInput(n) => write!(f, "missing input '{n}'"),
+            InterpError::Blocked(n) => write!(f, "tensor '{n}' is blocked; use a model-specific reference"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Evaluates every expression of `program` on `inputs`, returning all
+/// produced tensors (keyed by name) with structural sparse semantics.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] for missing inputs or blocked tensors.
+pub fn interpret(
+    program: &Program,
+    inputs: &HashMap<String, SparseTensor>,
+) -> Result<HashMap<String, Structured>, InterpError> {
+    let mut env: HashMap<TensorId, Structured> = HashMap::new();
+    for (id, decl) in program.inputs() {
+        if decl.block != [1, 1] {
+            return Err(InterpError::Blocked(decl.name.clone()));
+        }
+        let t = inputs.get(&decl.name).ok_or_else(|| InterpError::MissingInput(decl.name.clone()))?;
+        env.insert(id, Structured::from_sparse(t));
+    }
+
+    for e in program.exprs() {
+        let out_decl = program.tensor(e.output.tensor);
+        if out_decl.block != [1, 1] {
+            return Err(InterpError::Blocked(out_decl.name.clone()));
+        }
+        // Collect the iteration space: every index of the expression.
+        let all_ix = e.index_set();
+        let dims: Vec<usize> = all_ix.iter().map(|ix| program.index_size(*ix)).collect();
+        let mut out_vals = DenseTensor::zeros(out_decl.shape.clone());
+        let mut out_mask = DenseTensor::zeros(out_decl.shape.clone());
+
+        let slot_of: HashMap<IndexVar, usize> =
+            all_ix.iter().enumerate().map(|(s, ix)| (*ix, s)).collect();
+        let gather = |acc: &Access, point: &[usize]| -> Vec<usize> {
+            acc.indices.iter().map(|ix| point[slot_of[ix]]).collect()
+        };
+
+        // Per-input structure with storage-format closure: a dense level
+        // materializes every coordinate under a present parent (empty CSR
+        // rows exist as fibers), so marginal prefix supports key only on
+        // the coordinates of *compressed* levels. prefixes[n][t] holds the
+        // compressed-coordinate keys supported at prefix length t+1, and
+        // closed element presence keys on all compressed levels.
+        let mut prefixes: Vec<Vec<std::collections::HashSet<Vec<usize>>>> = Vec::new();
+        let mut closed: Vec<Vec<bool>> = Vec::new(); // per input: level compressed?
+        for acc in &e.inputs {
+            let s = &env[&acc.tensor];
+            let fmt = program.tensor(acc.tensor).format.clone();
+            let comp: Vec<bool> = (0..fmt.order())
+                .map(|l| fmt.level(l) == fuseflow_tensor::LevelFormat::Compressed)
+                .collect();
+            let order = acc.indices.len();
+            let mut per_len = vec![std::collections::HashSet::new(); order];
+            let mut idx = vec![0usize; order];
+            for flat in 0..s.mask.len() {
+                let mut rem = flat;
+                for d in (0..order).rev() {
+                    idx[d] = rem % s.mask.shape()[d];
+                    rem /= s.mask.shape()[d];
+                }
+                if s.mask.data()[flat] != 0.0 {
+                    for t in 0..order {
+                        per_len[t].insert(idx[..=t].to_vec());
+                    }
+                }
+            }
+            prefixes.push(per_len);
+            closed.push(comp);
+        }
+        // A prefix is supported when its coordinates up to the *last
+        // compressed level* match a stored element: trailing dense levels
+        // are materialized under any present parent (a CSR's empty rows
+        // exist as fibers), but interior coordinates still select fibers.
+        let supported = |n: usize, t: usize, coords: &[usize]| -> bool {
+            match (0..=t).rev().find(|&l| closed[n][l]) {
+                None => true,
+                Some(ts) => prefixes[n][ts].contains(&coords[..=ts].to_vec()),
+            }
+        };
+        let union_like = !(e.op.intersects() || e.op.arity() == Some(1));
+
+        let mut point = vec![0usize; dims.len()];
+        'space: loop {
+            // Presence and values per input.
+            let mut present = Vec::with_capacity(e.inputs.len());
+            let mut vals = Vec::with_capacity(e.inputs.len());
+            for (n, acc) in e.inputs.iter().enumerate() {
+                let s = &env[&acc.tensor];
+                let idx = gather(acc, &point);
+                // Closed element presence: all compressed coordinates must
+                // be stored; dense levels are materialized.
+                present.push(supported(n, acc.indices.len() - 1, &idx));
+                vals.push(s.vals.get(&idx));
+            }
+            let here = if !union_like {
+                present.iter().all(|p| *p)
+            } else {
+                // A point exists iff every output index is covered by some
+                // owning input's (format-closed) marginal support:
+                // broadcast inputs do not extend structure along
+                // dimensions they lack.
+                e.output.indices.iter().all(|d| {
+                    e.inputs.iter().enumerate().any(|(n, acc)| {
+                        acc.indices.iter().position(|x| x == d).is_some_and(|pos_d| {
+                            let coords: Vec<usize> =
+                                acc.indices[..=pos_d].iter().map(|ix| point[slot_of[ix]]).collect();
+                            supported(n, pos_d, &coords)
+                        })
+                    })
+                })
+            };
+            if here {
+                let v = match e.op {
+                    OpKind::Mul | OpKind::MulElem => vals.iter().product::<f32>(),
+                    OpKind::Add => vals.iter().sum(),
+                    OpKind::Sub => vals[0] - vals[1],
+                    OpKind::Div | OpKind::ColDiv => {
+                        if vals[0] == 0.0 {
+                            0.0
+                        } else {
+                            vals[0] / vals[1]
+                        }
+                    }
+                    OpKind::ColSub => vals[0] - vals[1],
+                    OpKind::Max => vals[0].max(vals[1]),
+                    OpKind::Unary(op) => op.apply_scalar(vals[0], 0.0),
+                    OpKind::Id => vals[0],
+                };
+                let out_idx = gather(&e.output, &point);
+                if out_mask.get(&out_idx) == 0.0 {
+                    out_mask.set(&out_idx, 1.0);
+                    out_vals.set(&out_idx, v);
+                } else {
+                    let cur = out_vals.get(&out_idx);
+                    let merged = if e.reduce.is_empty() {
+                        // Multiple contributions without a reduction cannot
+                        // happen for well-formed expressions; sum keeps the
+                        // semantics of duplicate coordinates.
+                        cur + v
+                    } else {
+                        match e.reduce_op {
+                            ReduceOp::Sum => cur + v,
+                            ReduceOp::Max => cur.max(v),
+                        }
+                    };
+                    out_vals.set(&out_idx, merged);
+                }
+            }
+            // Advance the iteration point.
+            for d in (0..dims.len()).rev() {
+                point[d] += 1;
+                if point[d] < dims[d] {
+                    continue 'space;
+                }
+                point[d] = 0;
+            }
+            break;
+        }
+        env.insert(e.output.tensor, Structured { vals: out_vals, mask: out_mask });
+    }
+
+    Ok(env
+        .into_iter()
+        .map(|(id, s)| (program.tensor(id).name.clone(), s))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpKind;
+    use fuseflow_sam::AluOp;
+    use fuseflow_tensor::{gen, reference, Format};
+
+    fn bind(pairs: Vec<(&str, SparseTensor)>) -> HashMap<String, SparseTensor> {
+        pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn matmul_matches_dense_reference() {
+        let mut p = Program::new();
+        let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
+        let a = p.input("A", vec![6, 5], Format::csr());
+        let x = p.input("X", vec![5, 4], Format::dense(2));
+        let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
+        p.mark_output(t);
+
+        let at = gen::sparse_features(6, 5, 0.4, 1, &Format::csr());
+        let xt = SparseTensor::from_dense(&gen::dense_features(5, 4, 2), &Format::dense(2));
+        let expect = reference::matmul(&at.to_dense(), &xt.to_dense());
+        let out = interpret(&p, &bind(vec![("A", at), ("X", xt)])).unwrap();
+        assert!(out["T"].vals.approx_eq(&expect));
+    }
+
+    #[test]
+    fn unary_applies_only_to_structure() {
+        // exp over a sparse matrix: absent coordinates stay absent/zero
+        // (the sparse-softmax semantics).
+        let mut p = Program::new();
+        let (i, j) = (p.index("i"), p.index("j"));
+        let a = p.input("A", vec![2, 2], Format::dcsr());
+        let e = p.map("E", AluOp::Exp, (a, vec![i, j]), Format::dcsr());
+        p.mark_output(e);
+
+        let at = SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 2.0)], &Format::dcsr()).unwrap();
+        let out = interpret(&p, &bind(vec![("A", at)])).unwrap();
+        assert!((out["E"].vals.get(&[0, 0]) - 2.0f32.exp()).abs() < 1e-5);
+        assert_eq!(out["E"].vals.get(&[1, 1]), 0.0, "absent coordinate must stay zero");
+        assert_eq!(out["E"].mask.get(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn union_add_presence() {
+        let mut p = Program::new();
+        let (i, j) = (p.index("i"), p.index("j"));
+        let a = p.input("A", vec![2, 2], Format::dcsr());
+        let b = p.input("B", vec![2, 2], Format::dcsr());
+        let c = p.binary("C", OpKind::Add, (a, vec![i, j]), (b, vec![i, j]), vec![i, j], Format::dcsr());
+        p.mark_output(c);
+
+        let at = SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 1.0)], &Format::dcsr()).unwrap();
+        let bt = SparseTensor::from_coo(vec![2, 2], vec![(vec![1, 1], 2.0)], &Format::dcsr()).unwrap();
+        let out = interpret(&p, &bind(vec![("A", at), ("B", bt)])).unwrap();
+        assert_eq!(out["C"].vals.get(&[0, 0]), 1.0);
+        assert_eq!(out["C"].vals.get(&[1, 1]), 2.0);
+        assert_eq!(out["C"].mask.get(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn max_reduce_over_structure_only() {
+        // Row max of a sparse matrix with negative values: stored values
+        // only (no spurious zeros).
+        let mut p = Program::new();
+        let (i, j) = (p.index("i"), p.index("j"));
+        let a = p.input("A", vec![2, 3], Format::dcsr());
+        let m = p.reduce("M", (a, vec![i, j]), vec![j], ReduceOp::Max, Format::sparse_vec());
+        p.mark_output(m);
+
+        let at = SparseTensor::from_coo(
+            vec![2, 3],
+            vec![(vec![0, 0], -5.0), (vec![0, 2], -1.0)],
+            &Format::dcsr(),
+        )
+        .unwrap();
+        let out = interpret(&p, &bind(vec![("A", at)])).unwrap();
+        assert_eq!(out["M"].vals.get(&[0]), -1.0);
+        assert_eq!(out["M"].mask.get(&[1]), 0.0, "empty row has no structure");
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let mut p = Program::new();
+        let (i, j) = (p.index("i"), p.index("j"));
+        let t = p.input("T", vec![2, 2], Format::dense(2));
+        let b = p.input("b", vec![2], Format::dense_vec());
+        let o = p.binary("O", OpKind::Add, (t, vec![i, j]), (b, vec![j]), vec![i, j], Format::dense(2));
+        p.mark_output(o);
+
+        let tt = SparseTensor::from_dense(
+            &DenseTensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]),
+            &Format::dense(2),
+        );
+        let bt = SparseTensor::from_dense(&DenseTensor::from_vec(vec![2], vec![10., 20.]), &Format::dense_vec());
+        let out = interpret(&p, &bind(vec![("T", tt), ("b", bt)])).unwrap();
+        assert_eq!(out["O"].vals.data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let mut p = Program::new();
+        let (i, j) = (p.index("i"), p.index("j"));
+        let a = p.input("A", vec![2, 2], Format::csr());
+        let _ = p.map("R", AluOp::Relu, (a, vec![i, j]), Format::csr());
+        let err = interpret(&p, &HashMap::new()).unwrap_err();
+        assert_eq!(err, InterpError::MissingInput("A".into()));
+    }
+}

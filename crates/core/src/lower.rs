@@ -1,0 +1,1114 @@
+//! Lowering fused regions to SAMML dataflow graphs (Section 6, Algorithm 2).
+//!
+//! The lowering walks the fused iteration order row by row (top-down),
+//! building for every expression its interleaved input-iteration and
+//! compute pipelines — **factored iteration**: each expression keeps its own
+//! sub-space, non-innermost reductions become `Spacc1` sparse accumulators
+//! whose output coordinate streams feed the next expression's joins, and
+//! shared rows become reference cells instead of re-iterated loops. A
+//! [`FusionTable`] records the plan (rows = fused order, columns = tensor
+//! views, cells = primitives or references).
+//!
+//! The same machinery lowers the Custard/Stardust **global iteration**
+//! baseline by first composing a region into a single multi-input
+//! expression ([`globalize_region`]) whose chained reductions all sit at
+//! the bottom of one n-dimensional space.
+//!
+//! Stream parallelization (Section 7) splits a chosen free row across
+//! `factor` copies of everything below it and merges results with
+//! order-driven serializers; nested splits compose.
+
+use crate::fusion::{FuseError, FusedExpr, FusedRegion, GlobalIx};
+use crate::ir::{OpKind, Program, TensorId};
+use crate::table::{Cell, FusionTable};
+use fuseflow_sam::{MemLocation, NodeId, NodeKind, SamGraph};
+use std::collections::HashMap;
+
+/// A stream handle: an output port of a graph node.
+type H = (NodeId, usize);
+
+/// Lowering errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A construct this lowering does not support.
+    Unsupported(String),
+    /// Region fusion failed.
+    Fusion(FuseError),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            LowerError::Fusion(e) => write!(f, "fusion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<FuseError> for LowerError {
+    fn from(e: FuseError) -> Self {
+        LowerError::Fusion(e)
+    }
+}
+
+/// Options controlling one region's lowering.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Rows to parallelize, outermost first: `(global index, factor)`.
+    pub parallelize: Vec<(GlobalIx, usize)>,
+    /// Memory location of region inputs and outputs.
+    pub location: MemLocation,
+}
+
+/// A materialized permuted input the runtime must provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutedInput {
+    /// Name of the original tensor.
+    pub base: String,
+    /// Binding name of the permuted copy.
+    pub derived: String,
+    /// Level permutation.
+    pub perm: Vec<usize>,
+}
+
+/// The result of lowering one fused region.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The SAMML dataflow graph.
+    pub graph: SamGraph,
+    /// The fusion table recorded during lowering.
+    pub table: FusionTable,
+    /// Permuted input copies the runtime must materialize.
+    pub permuted_inputs: Vec<PermutedInput>,
+    /// Output tensors written by this graph.
+    pub outputs: Vec<TensorId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ViewKind {
+    Input { slot: usize },
+    Inter,
+}
+
+struct ViewRt {
+    expr: usize,
+    tensor: TensorId,
+    ixs: Vec<GlobalIx>,
+    kind: ViewKind,
+    started: bool,
+    next: usize,
+    /// Per-branch ref stream while scanning, then value stream.
+    stream: Vec<H>,
+    is_val: bool,
+    col: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Produced {
+    /// Scope rows plus output indices, in iteration order.
+    structure: Vec<GlobalIx>,
+    crd: HashMap<GlobalIx, Vec<H>>,
+    val: Vec<H>,
+}
+
+struct SplitRecord {
+    row: GlobalIx,
+    factor: usize,
+    /// Pre-split row coordinate streams (one per pre-split branch), used as
+    /// serializer order streams.
+    order_crd: Vec<H>,
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    region: &'a FusedRegion,
+    graph: SamGraph,
+    table: FusionTable,
+    pos: HashMap<GlobalIx, usize>,
+    rows_of: Vec<Vec<GlobalIx>>,
+    views: Vec<ViewRt>,
+    expr_views: Vec<Vec<usize>>,
+    produced: HashMap<TensorId, Produced>,
+    row_crd: HashMap<(usize, GlobalIx), Vec<H>>,
+    branches: usize,
+    splits: Vec<SplitRecord>,
+    /// Deferred payload connections: joins created before their producer's
+    /// value stream exists (the fusion table's not-yet-materialized
+    /// references): (tensor, node, port, branch, branch count at creation).
+    /// Patched at registration time.
+    pending: Vec<(TensorId, NodeId, usize, usize, usize)>,
+}
+
+impl<'a> Ctx<'a> {
+    fn name(&self, g: GlobalIx) -> &str {
+        &self.region.names[g.0 as usize]
+    }
+
+    fn root(&mut self) -> H {
+        let n = self.graph.add_node(NodeKind::Root);
+        (n, 0)
+    }
+
+    fn connect(&mut self, src: H, dst: NodeId, port: usize) {
+        self.graph.connect(src.0, src.1, dst, port);
+    }
+
+    fn tensor_name(&self, t: TensorId) -> &str {
+        &self.program.tensor(self.region.decl_id(t)).name
+    }
+
+    /// Finds the canonical row coordinate stream for a scope row of `expr`:
+    /// the stream of the consumer that contributed the scope.
+    fn scope_row_crd(&self, expr: usize, g: GlobalIx) -> Option<Vec<H>> {
+        for e in (0..self.rows_of.len()).rev() {
+            if e != expr {
+                if let Some(v) = self.row_crd.get(&(e, g)) {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Composes a region's expressions into a single multi-input product for
+/// the global-iteration (Custard/Stardust) baseline.
+///
+/// # Errors
+///
+/// Fails for regions containing non-algebraic (non-`Mul`/`Id`) operators —
+/// exactly the operators that "break EKF" for prior compilers (Fig 4a).
+pub fn globalize_region(region: &FusedRegion) -> Result<FusedRegion, LowerError> {
+    if region.exprs.len() <= 1 {
+        // A single kernel is identical under both iteration styles; the
+        // baseline compilers support any single expression.
+        return Ok(region.clone());
+    }
+    for e in &region.exprs {
+        if !matches!(e.op, OpKind::Mul | OpKind::Id) {
+            return Err(LowerError::Unsupported(
+                "global iteration requires a pure multiply/identity region".into(),
+            ));
+        }
+    }
+    let last = region.exprs.last().expect("non-empty region");
+    let produced: Vec<TensorId> = region.exprs.iter().map(|e| e.output.0).collect();
+    let mut inputs = Vec::new();
+    for e in &region.exprs {
+        for (t, ixs) in &e.inputs {
+            if !produced.contains(t) {
+                inputs.push((*t, ixs.clone()));
+            }
+        }
+    }
+    let out_ixs = last.output.1.clone();
+    let mut reduce: Vec<GlobalIx> = Vec::new();
+    for (_, ixs) in &inputs {
+        for g in ixs {
+            if !out_ixs.contains(g) && !reduce.contains(g) {
+                reduce.push(*g);
+            }
+        }
+    }
+    let composed = FusedExpr {
+        output: (last.output.0, out_ixs),
+        inputs,
+        op: OpKind::Mul,
+        reduce,
+        reduce_op: last.reduce_op,
+    };
+    let mut r = region.clone();
+    r.exprs = vec![composed];
+    r.scopes = vec![vec![]];
+    Ok(r)
+}
+
+/// Lowers one fused region into a SAMML graph with factored iteration.
+///
+/// `outputs` lists the tensors this region must write back to memory
+/// (region results and fusion-boundary intermediates).
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower_region(
+    program: &Program,
+    region: &FusedRegion,
+    outputs: &[TensorId],
+    opts: &LowerOptions,
+) -> Result<Lowered, LowerError> {
+    let pos: HashMap<GlobalIx, usize> =
+        region.order.iter().enumerate().map(|(p, g)| (*g, p)).collect();
+
+    // Effective rows per expression: scope + own indices, iteration order.
+    let mut rows_of = Vec::with_capacity(region.exprs.len());
+    for (ei, e) in region.exprs.iter().enumerate() {
+        let mut rows: Vec<GlobalIx> = region.scopes[ei].clone();
+        rows.extend(e.index_set());
+        rows.sort_by_key(|g| pos[g]);
+        rows.dedup();
+        // Scope rows must sit strictly above all own rows.
+        let own_top = e.index_set().iter().map(|g| pos[g]).min().unwrap_or(0);
+        for s in &region.scopes[ei] {
+            if pos[s] >= own_top {
+                return Err(LowerError::Unsupported(
+                    "recomputation scope interleaves with expression indices".into(),
+                ));
+            }
+        }
+        rows_of.push(rows);
+    }
+
+    // Validate parallelization rows.
+    let mut par: Vec<(GlobalIx, usize)> = opts.parallelize.clone();
+    par.sort_by_key(|(g, _)| pos[g]);
+    for (g, _) in &par {
+        for (ei, e) in region.exprs.iter().enumerate() {
+            if !rows_of[ei].contains(g) {
+                return Err(LowerError::Unsupported(format!(
+                    "parallelized row {} missing from expression {ei}",
+                    region.names[g.0 as usize]
+                )));
+            }
+            if e.reduce.contains(g) {
+                return Err(LowerError::Unsupported("cannot parallelize a reduced row".into()));
+            }
+            if rows_of[ei].last() == Some(g) {
+                return Err(LowerError::Unsupported(
+                    "cannot parallelize an expression's innermost row".into(),
+                ));
+            }
+        }
+    }
+
+    let mut table = FusionTable::new(
+        region.order.iter().map(|g| region.names[g.0 as usize].clone()).collect(),
+    );
+
+    let mut graph = SamGraph::new();
+    let mut slot_of_tensor: HashMap<TensorId, usize> = HashMap::new();
+    let mut permuted_inputs = Vec::new();
+
+    // Views: every input access of every expression.
+    let mut views: Vec<ViewRt> = Vec::new();
+    let mut expr_views: Vec<Vec<usize>> = Vec::new();
+    let produced_set: Vec<TensorId> = region.exprs.iter().map(|e| e.output.0).collect();
+    for (ei, e) in region.exprs.iter().enumerate() {
+        let mut ids = Vec::new();
+        for (pi, (t, ixs)) in e.inputs.iter().enumerate() {
+            let decl = program.tensor(region.decl_id(*t));
+            let kind = if produced_set[..ei].contains(t) {
+                ViewKind::Inter
+            } else {
+                // Materialized-transpose views bind a derived tensor name.
+                let fix = region
+                    .transposes
+                    .iter()
+                    .find(|f| f.expr == ei && f.input == pi);
+                let bind_name = match fix {
+                    Some(f) => {
+                        let derived = format!("{}__perm{:?}", decl.name, f.perm)
+                            .replace([' ', ','], "_")
+                            .replace(['[', ']'], "");
+                        permuted_inputs.push(PermutedInput {
+                            base: decl.name.clone(),
+                            derived: derived.clone(),
+                            perm: f.perm.clone(),
+                        });
+                        derived
+                    }
+                    None => decl.name.clone(),
+                };
+                let key = if fix.is_some() { TensorId(usize::MAX - views.len()) } else { *t };
+                let slot = *slot_of_tensor
+                    .entry(key)
+                    .or_insert_with(|| graph.add_tensor(bind_name, opts.location));
+                ViewKind::Input { slot }
+            };
+            let label = format!(
+                "{}[{}]",
+                decl.name,
+                ixs.iter().map(|g| region.names[g.0 as usize].clone()).collect::<Vec<_>>().join(",")
+            );
+            let col = table.add_column(label);
+            views.push(ViewRt {
+                expr: ei,
+                tensor: *t,
+                ixs: ixs.clone(),
+                kind,
+                started: false,
+                next: 0,
+                stream: Vec::new(),
+                is_val: false,
+                col,
+            });
+            ids.push(views.len() - 1);
+        }
+        expr_views.push(ids);
+    }
+    // One output column per expression for compute/reduce cells.
+    let out_cols: Vec<usize> = region
+        .exprs
+        .iter()
+        .map(|e| {
+            table.add_column(format!(
+                "{}[{}]",
+                program.tensor(region.decl_id(e.output.0)).name,
+                e.output
+                    .1
+                    .iter()
+                    .map(|g| region.names[g.0 as usize].clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ))
+        })
+        .collect();
+
+    let mut ctx = Ctx {
+        program,
+        region,
+        graph,
+        table,
+        pos,
+        rows_of,
+        views,
+        expr_views,
+        produced: HashMap::new(),
+        row_crd: HashMap::new(),
+        branches: 1,
+        splits: Vec::new(),
+        pending: Vec::new(),
+    };
+
+    // ---- Row-major construction -----------------------------------------
+    for (ri, &g) in region.order.iter().enumerate() {
+        // Expressions owning this row (some view accesses it) come first so
+        // that scope rows can reference their consumers' streams; within a
+        // group, program order keeps producer registrations ahead of
+        // consumer joins at the same row.
+        let mut owner_exprs = Vec::new();
+        let mut scope_exprs = Vec::new();
+        for ei in 0..region.exprs.len() {
+            if !ctx.rows_of[ei].contains(&g) {
+                continue;
+            }
+            let owns = region.exprs[ei].inputs.iter().any(|(_, ixs)| ixs.contains(&g));
+            if owns {
+                owner_exprs.push(ei);
+            } else {
+                scope_exprs.push(ei);
+            }
+        }
+        let split = par.iter().find(|(pg, _)| *pg == g).map(|&(_, f)| f);
+        if let Some(factor) = split {
+            // Split rows may not be any expression's innermost (validated
+            // above), so no registration happens here: stage the phases.
+            for &ei in owner_exprs.iter().chain(&scope_exprs) {
+                owner_row_work(&mut ctx, ei, g, ri)?;
+            }
+            apply_split(&mut ctx, g, factor)?;
+            for &ei in owner_exprs.iter().chain(&scope_exprs) {
+                repeat_row_work(&mut ctx, ei, g, ri)?;
+            }
+        } else {
+            for &ei in owner_exprs.iter().chain(&scope_exprs) {
+                owner_row_work(&mut ctx, ei, g, ri)?;
+                repeat_row_work(&mut ctx, ei, g, ri)?;
+                if ctx.rows_of[ei].last() == Some(&g) {
+                    finish_expr(&mut ctx, ei, ri, out_cols[ei])?;
+                }
+            }
+        }
+    }
+
+    // ---- Writers ---------------------------------------------------------
+    let mut written = Vec::new();
+    for &t in outputs {
+        let Some(prod) = ctx.produced.get(&t).cloned() else {
+            return Err(LowerError::Unsupported(format!(
+                "output '{}' not produced by region",
+                program.tensor(t).name
+            )));
+        };
+        let e = region
+            .exprs
+            .iter()
+            .position(|e| e.output.0 == t)
+            .expect("produced implies an expression");
+        if !region.scopes[e].is_empty() {
+            return Err(LowerError::Unsupported(
+                "a region output cannot sit under a recomputation scope".into(),
+            ));
+        }
+        let decl = program.tensor(t);
+        let slot = if decl.block == [1, 1] {
+            ctx.graph.add_output(decl.name.clone(), decl.shape.clone(), decl.format.clone(), opts.location)
+        } else {
+            ctx.graph.add_blocked_output(
+                decl.name.clone(),
+                decl.shape.clone(),
+                decl.format.clone(),
+                decl.block,
+                opts.location,
+            )
+        };
+        // Output index rows, iteration-ordered (concordant by the POG).
+        let out_ixs = &region.exprs[e].output.1;
+        for (lvl, ix) in out_ixs.iter().enumerate() {
+            let merged = merge_branches(&mut ctx, prod.crd[ix].clone(), &prod.structure, *ix)?;
+            let w = ctx.graph.add_node(NodeKind::CrdWriter { output: slot, level: lvl });
+            ctx.connect(merged, w, 0);
+        }
+        let inner = *out_ixs.last().expect("outputs have at least one level");
+        let merged_val = merge_branches(&mut ctx, prod.val.clone(), &prod.structure, inner)?;
+        let w = ctx.graph.add_node(NodeKind::ValWriter { output: slot });
+        ctx.connect(merged_val, w, 0);
+        written.push(t);
+    }
+
+    Ok(Lowered { graph: ctx.graph, table: ctx.table, permuted_inputs, outputs: written })
+}
+
+/// Creates scanners/joins for views owning row `g` within expression `ei`.
+fn owner_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Result<(), LowerError> {
+    let view_ids = ctx.expr_views[ei].clone();
+    #[derive(Clone, PartialEq)]
+    enum Pay {
+        None,
+        Ready(Vec<H>),
+        Pending(TensorId),
+    }
+    // Contributions: (view id, crd streams, payload, inter-non-innermost)
+    let mut contribs: Vec<(usize, Vec<H>, Pay, bool)> = Vec::new();
+    for vid in view_ids {
+        let v = &ctx.views[vid];
+        if !v.ixs.contains(&g) {
+            continue;
+        }
+        match v.kind {
+            ViewKind::Input { slot } => {
+                let level = ctx.views[vid].ixs.iter().position(|x| *x == g).expect("owner");
+                if level != ctx.views[vid].next {
+                    return Err(LowerError::Unsupported(
+                        "discordant traversal slipped past the POG".into(),
+                    ));
+                }
+                if !ctx.views[vid].started {
+                    let mut roots = Vec::with_capacity(ctx.branches);
+                    for _ in 0..ctx.branches {
+                        roots.push(ctx.root());
+                    }
+                    ctx.views[vid].stream = roots;
+                    ctx.views[vid].started = true;
+                    if ri == 0 || level == 0 {
+                        let col = ctx.views[vid].col;
+                        ctx.table.set(ri, col, Cell::Prim("LS(root)".into()));
+                    }
+                }
+                let mut crds = Vec::with_capacity(ctx.branches);
+                let mut refs = Vec::with_capacity(ctx.branches);
+                for b in 0..ctx.branches {
+                    let ls = ctx.graph.add_node(NodeKind::LevelScanner { tensor: slot, level });
+                    let src = ctx.views[vid].stream[b];
+                    ctx.connect(src, ls, 0);
+                    crds.push((ls, 0));
+                    refs.push((ls, 1));
+                }
+                let col = ctx.views[vid].col;
+                if ctx.table.cell(ri, col) == &Cell::Empty {
+                    ctx.table.set(
+                        ri,
+                        col,
+                        Cell::Prim(format!("LS(⟨{}_{}⟩)", ctx.tensor_name(ctx.views[vid].tensor), ctx.name(g))),
+                    );
+                }
+                ctx.views[vid].next = level + 1;
+                contribs.push((vid, crds, Pay::Ready(refs), false));
+            }
+            ViewKind::Inter => {
+                let tensor = ctx.views[vid].tensor;
+                let innermost = *ctx.views[vid].ixs.last().expect("inter view has levels");
+                // Either the producer already registered (post-reduction
+                // streams at its innermost row) or this is a shared outer
+                // loop whose coordinate stream is the producer's row crd.
+                let (crd, payload) = match ctx.produced.get(&tensor) {
+                    Some(prod) => {
+                        let Some(crd) = prod.crd.get(&g) else {
+                            return Err(LowerError::Unsupported(
+                                "intermediate joined on a non-registered row".into(),
+                            ));
+                        };
+                        let payload = if g == innermost {
+                            Pay::Ready(prod.val.clone())
+                        } else {
+                            Pay::None
+                        };
+                        (crd.clone(), payload)
+                    }
+                    None => {
+                        let prod_ei = ctx
+                            .region
+                            .exprs
+                            .iter()
+                            .position(|e| e.output.0 == tensor)
+                            .expect("intermediate has a producer");
+                        let Some(crd) = ctx.row_crd.get(&(prod_ei, g)) else {
+                            return Err(LowerError::Unsupported(
+                                "shared row has no producer coordinate stream yet".into(),
+                            ));
+                        };
+                        // A reduce-output consumed above its producer's
+                        // innermost row: defer the value connection.
+                        let payload =
+                            if g == innermost { Pay::Pending(tensor) } else { Pay::None };
+                        (crd.clone(), payload)
+                    }
+                };
+                let non_innermost = g != innermost;
+                let col = ctx.views[vid].col;
+                ctx.table.set(
+                    ri,
+                    col,
+                    Cell::Ref(format!(
+                        "{}_{}",
+                        ctx.tensor_name(ctx.views[vid].tensor),
+                        ctx.name(g)
+                    )),
+                );
+                contribs.push((vid, crd, payload, non_innermost));
+                let _ = prod_cell_marker();
+            }
+        }
+    }
+    if contribs.is_empty() {
+        // Scope row: reuse the contributing consumer's stream.
+        let Some(crd) = ctx.scope_row_crd(ei, g) else {
+            return Err(LowerError::Unsupported(format!(
+                "no coordinate stream available for scope row {}",
+                ctx.name(g)
+            )));
+        };
+        ctx.row_crd.insert((ei, g), crd);
+        return Ok(());
+    }
+
+    // Fold contributions with joins. Identical handles short-circuit into
+    // reference cells.
+    let op = ctx.region.exprs[ei].op;
+    let mut acc = contribs.remove(0);
+    for next in contribs {
+        if acc.1 == next.1 {
+            // Same stream (e.g. numerator/denominator of a softmax): no
+            // join node needed; payloads stay independent. Pending values
+            // still need a passthrough handle to defer onto.
+            match &next.2 {
+                Pay::Ready(p) => update_view_stream(ctx, next.0, Some(p.clone()), next.3),
+                Pay::Pending(t) => {
+                    let t = *t;
+                    let mut outs = Vec::with_capacity(ctx.branches);
+                    for b in 0..ctx.branches {
+                        let pass = ctx.graph.add_node(NodeKind::CrdDrop);
+                        ctx.connect(next.1[b], pass, 0);
+                        ctx.pending.push((t, pass, 1, b, ctx.branches));
+                        outs.push((pass, 1));
+                    }
+                    update_view_stream(ctx, next.0, Some(outs), next.3);
+                }
+                Pay::None => {}
+            }
+            continue;
+        }
+        let mut next = next;
+        if next.3 && !acc.3 {
+            // Keep the streamed-intermediate side on the left.
+            std::mem::swap(&mut acc, &mut next);
+        }
+        let kind = if acc.3 {
+            NodeKind::UnionLeft
+        } else if op.intersects() || op.arity() == Some(1) {
+            NodeKind::Intersect
+        } else {
+            NodeKind::Union
+        };
+        let mut crd_out = Vec::with_capacity(ctx.branches);
+        let mut pa_out = (acc.2 != Pay::None).then(|| Vec::with_capacity(ctx.branches));
+        let mut pb_out = (next.2 != Pay::None).then(|| Vec::with_capacity(ctx.branches));
+        for b in 0..ctx.branches {
+            let j = ctx.graph.add_node(kind.clone());
+            ctx.connect(acc.1[b], j, 0);
+            match &acc.2 {
+                Pay::Ready(pa) => ctx.connect(pa[b], j, 1),
+                Pay::Pending(t) => ctx.pending.push((*t, j, 1, b, ctx.branches)),
+                Pay::None => {}
+            }
+            ctx.connect(next.1[b], j, 2);
+            match &next.2 {
+                Pay::Ready(pb) => ctx.connect(pb[b], j, 3),
+                Pay::Pending(t) => ctx.pending.push((*t, j, 3, b, ctx.branches)),
+                Pay::None => {}
+            }
+            crd_out.push((j, 0));
+            if let Some(v) = &mut pa_out {
+                v.push((j, 1));
+            }
+            if let Some(v) = &mut pb_out {
+                v.push((j, 2));
+            }
+        }
+        update_view_stream(ctx, acc.0, pa_out.clone(), acc.3);
+        update_view_stream(ctx, next.0, pb_out.clone(), next.3);
+        acc.2 = match pa_out {
+            Some(v) => Pay::Ready(v),
+            None => Pay::None,
+        };
+        let jn = match kind {
+            NodeKind::Intersect => "Intersect",
+            NodeKind::Union => "Union",
+            _ => "UnionLeft",
+        };
+        let col = ctx.views[acc.0].col;
+        ctx.table.set(ri, col, Cell::Prim(format!("{jn}_{}", ctx.name(g))));
+        acc = (acc.0, crd_out, acc.2.clone(), false);
+    }
+    // Single contribution: its payload becomes the view's stream; pending
+    // single payloads thread through a passthrough (CrdDrop) pair so
+    // downstream nodes get a handle now.
+    match &acc.2 {
+        Pay::Ready(p) => update_view_stream(ctx, acc.0, Some(p.clone()), acc.3),
+        Pay::Pending(t) => {
+            let t = *t;
+            let mut outs = Vec::with_capacity(ctx.branches);
+            for b in 0..ctx.branches {
+                let pass = ctx.graph.add_node(NodeKind::CrdDrop);
+                ctx.connect(acc.1[b], pass, 0);
+                ctx.pending.push((t, pass, 1, b, ctx.branches));
+                outs.push((pass, 1));
+            }
+            update_view_stream(ctx, acc.0, Some(outs), acc.3);
+        }
+        Pay::None => {}
+    }
+    ctx.row_crd.insert((ei, g), acc.1);
+
+    // Views that just finished their last level fetch values eagerly.
+    let view_ids = ctx.expr_views[ei].clone();
+    for vid in view_ids {
+        let v = &ctx.views[vid];
+        if let ViewKind::Input { slot } = v.kind {
+            if v.started && !v.is_val && v.next == v.ixs.len() && v.ixs.last() == Some(&g) {
+                let mut vals = Vec::with_capacity(ctx.branches);
+                for b in 0..ctx.branches {
+                    let arr = ctx.graph.add_node(NodeKind::Array { tensor: slot });
+                    let src = ctx.views[vid].stream[b];
+                    ctx.connect(src, arr, 0);
+                    vals.push((arr, 0));
+                }
+                ctx.views[vid].stream = vals;
+                ctx.views[vid].is_val = true;
+                let (col, val_row) = (ctx.views[vid].col, ctx.table.val_row());
+                ctx.table.set(
+                    val_row,
+                    col,
+                    Cell::Prim(format!("Val(⟨{}⟩)", ctx.tensor_name(ctx.views[vid].tensor))),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn update_view_stream(ctx: &mut Ctx<'_>, vid: usize, payload: Option<Vec<H>>, non_innermost: bool) {
+    if let Some(p) = payload {
+        match ctx.views[vid].kind {
+            ViewKind::Input { .. } => {
+                ctx.views[vid].stream = p;
+            }
+            ViewKind::Inter => {
+                if !non_innermost {
+                    ctx.views[vid].stream = p;
+                    ctx.views[vid].is_val = true;
+                }
+            }
+        }
+    }
+}
+
+/// Splits every row-`g` owner stream across `factor` branches.
+fn apply_split(ctx: &mut Ctx<'_>, g: GlobalIx, factor: usize) -> Result<(), LowerError> {
+    let old = ctx.branches;
+    let new = old * factor;
+    // Record order streams (pre-split row crds of the output-producing
+    // expressions; any expression owning the row works because serializer
+    // order streams only need element counts — use each expr's own).
+    let mut order_crd = Vec::new();
+    for ei in 0..ctx.region.exprs.len() {
+        if let Some(rc) = ctx.row_crd.get(&(ei, g)) {
+            order_crd = rc.clone();
+            break;
+        }
+    }
+    if order_crd.is_empty() {
+        return Err(LowerError::Unsupported("split row has no coordinate stream".into()));
+    }
+    ctx.splits.push(SplitRecord { row: g, factor, order_crd });
+
+    // Split per-expression row crds together with each 1:1 owner stream.
+    let expr_count = ctx.region.exprs.len();
+    let mut new_row_crd: HashMap<(usize, GlobalIx), Vec<H>> = HashMap::new();
+    for ((ei, row), streams) in ctx.row_crd.clone() {
+        if row == g {
+            // Split: one parallelizer per old branch carrying the row crd;
+            // owner payload streams ride their own parallelizers below.
+            let mut nv = Vec::with_capacity(new);
+            for b in 0..old {
+                let p = ctx.graph.add_node(NodeKind::Parallelizer { factor });
+                ctx.connect(streams[b], p, 0);
+                for s in 0..factor {
+                    nv.push((p, 2 * s));
+                }
+            }
+            new_row_crd.insert((ei, row), nv);
+        } else {
+            // Broadcast: replicate handles (fan-out duplicates tokens).
+            let mut nv = Vec::with_capacity(new);
+            for b in 0..old {
+                for _ in 0..factor {
+                    nv.push(streams[b]);
+                }
+            }
+            new_row_crd.insert((ei, row), nv);
+        }
+    }
+    let _ = expr_count;
+
+    // Views: owner streams at this row (touched this row, 1:1 with row
+    // elems) split; everything else broadcasts.
+    for vid in 0..ctx.views.len() {
+        if ctx.views[vid].stream.is_empty() {
+            continue;
+        }
+        let v_ei = ctx.views[vid].expr;
+        let owns = ctx.views[vid].ixs.contains(&g);
+        let one_to_one = owns
+            && ((ctx.views[vid].is_val && ctx.views[vid].ixs.last() == Some(&g))
+                || (!ctx.views[vid].is_val
+                    && ctx.views[vid].next > 0
+                    && ctx.views[vid].ixs[ctx.views[vid].next - 1] == g));
+        let old_streams = ctx.views[vid].stream.clone();
+        let mut nv = Vec::with_capacity(new);
+        if one_to_one {
+            let rc = ctx.row_crd[&(v_ei, g)].clone();
+            for b in 0..old {
+                let p = ctx.graph.add_node(NodeKind::Parallelizer { factor });
+                ctx.connect(rc[b], p, 0);
+                ctx.connect(old_streams[b], p, 1);
+                for s in 0..factor {
+                    nv.push((p, 2 * s + 1));
+                }
+            }
+        } else {
+            for b in 0..old {
+                for _ in 0..factor {
+                    nv.push(old_streams[b]);
+                }
+            }
+        }
+        ctx.views[vid].stream = nv;
+    }
+    // NOTE: `rc` above references pre-split row crds; rebuild from the
+    // original map, then install the new one.
+    ctx.row_crd = new_row_crd;
+
+    // Produced intermediates: broadcast (registrations at or below this row
+    // have not happened yet; see lower_region docs).
+    for prod in ctx.produced.values_mut() {
+        for streams in prod.crd.values_mut() {
+            let mut nv = Vec::with_capacity(new);
+            for b in 0..old {
+                for _ in 0..factor {
+                    nv.push(streams[b]);
+                }
+            }
+            *streams = nv;
+        }
+        let mut nv = Vec::with_capacity(new);
+        for b in 0..old {
+            for _ in 0..factor {
+                nv.push(prod.val[b]);
+            }
+        }
+        prod.val = nv;
+    }
+    ctx.branches = new;
+    Ok(())
+}
+
+/// Broadcasts non-owner views across row `g` via repeat nodes.
+fn repeat_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Result<(), LowerError> {
+    let rc = ctx.row_crd[&(ei, g)].clone();
+    let view_ids = ctx.expr_views[ei].clone();
+    for vid in view_ids {
+        if ctx.views[vid].ixs.contains(&g) {
+            continue;
+        }
+        match ctx.views[vid].kind {
+            ViewKind::Input { .. } => {
+                if !ctx.views[vid].started {
+                    let mut roots = Vec::with_capacity(ctx.branches);
+                    for _ in 0..ctx.branches {
+                        roots.push(ctx.root());
+                    }
+                    ctx.views[vid].stream = roots;
+                    ctx.views[vid].started = true;
+                }
+            }
+            ViewKind::Inter => {
+                let tensor = ctx.views[vid].tensor;
+                let prod_ei = ctx
+                    .region
+                    .exprs
+                    .iter()
+                    .position(|e| e.output.0 == tensor)
+                    .expect("intermediate has a producer");
+                let in_structure = ctx.region.scopes[prod_ei].contains(&g)
+                    || ctx.region.exprs[prod_ei].output.1.contains(&g);
+                if in_structure {
+                    // Shared loop (possibly a recomputation scope): the
+                    // producer's streams are already nested under it.
+                    continue;
+                }
+                let innermost = *ctx.views[vid].ixs.last().expect("levels");
+                if ctx.pos[&g] < ctx.pos[&innermost] {
+                    return Err(LowerError::Unsupported(
+                        "broadcast row between an intermediate's output levels".into(),
+                    ));
+                }
+                if !ctx.views[vid].is_val {
+                    return Err(LowerError::Unsupported(format!(
+                        "intermediate '{}' value stream unavailable for broadcast over row {} in expr {}",
+                        ctx.tensor_name(tensor),
+                        ctx.name(g),
+                        ei
+                    )));
+                }
+            }
+        }
+        // Broadcast the current stream (refs before the first own level,
+        // refs mid-scan, or values past the last level).
+        let base = ctx.views[vid].stream.clone();
+        if base.len() != ctx.branches && base.len() == 1 {
+            // Stream predates a split; broadcast-replicate.
+            ctx.views[vid].stream = vec![base[0]; ctx.branches];
+        }
+        let base = ctx.views[vid].stream.clone();
+        let mut reps = Vec::with_capacity(ctx.branches);
+        for b in 0..ctx.branches {
+            let r = ctx.graph.add_node(NodeKind::Repeat);
+            ctx.connect(base[b], r, 0);
+            ctx.connect(rc[b], r, 1);
+            reps.push((r, 0));
+        }
+        ctx.views[vid].stream = reps;
+        let col = ctx.views[vid].col;
+        ctx.table.set(ri, col, Cell::Prim(format!("Rep(·,⟨{}⟩)", ctx.name(g))));
+    }
+    Ok(())
+}
+
+/// Builds the compute pipeline and reductions for expression `ei`, then
+/// registers its produced streams.
+fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Result<(), LowerError> {
+    let e = ctx.region.exprs[ei].clone();
+    let view_ids = ctx.expr_views[ei].clone();
+    // Ensure every view ended as a value stream.
+    for &vid in &view_ids {
+        let v = &ctx.views[vid];
+        if !v.is_val {
+            return Err(LowerError::Unsupported(format!(
+                "view of '{}' never produced values",
+                ctx.tensor_name(v.tensor)
+            )));
+        }
+    }
+    // Combine.
+    let mut val: Vec<H> = ctx.views[view_ids[0]].stream.clone();
+    match e.op {
+        OpKind::Unary(op) => {
+            let mut outs = Vec::with_capacity(ctx.branches);
+            for b in 0..ctx.branches {
+                let a = ctx.graph.add_node(NodeKind::Alu { op });
+                ctx.connect(val[b], a, 0);
+                outs.push((a, 0));
+            }
+            val = outs;
+            ctx.table.set(ctx.table.val_row(), out_col, Cell::Prim(format!("{op:?}(val)")));
+        }
+        OpKind::Id => {
+            ctx.table.set(ctx.table.val_row(), out_col, Cell::Ref("val".into()));
+        }
+        _ => {
+            for &vid in &view_ids[1..] {
+                let rhs = ctx.views[vid].stream.clone();
+                let op = e.op.alu().expect("binary ops have an ALU");
+                let mut outs = Vec::with_capacity(ctx.branches);
+                for b in 0..ctx.branches {
+                    let a = ctx.graph.add_node(NodeKind::Alu { op });
+                    ctx.connect(val[b], a, 0);
+                    ctx.connect(rhs[b], a, 1);
+                    outs.push((a, 0));
+                }
+                val = outs;
+            }
+            ctx.table.set(
+                ctx.table.val_row(),
+                out_col,
+                Cell::Prim(format!("{:?}(vals)", e.op)),
+            );
+        }
+    }
+
+    // Reductions, innermost outward; track the surviving inner crd stream.
+    let rows = ctx.rows_of[ei].clone();
+    let mut eliminated: Vec<GlobalIx> = Vec::new();
+    let mut crd_override: HashMap<GlobalIx, Vec<H>> = HashMap::new();
+    let mut reduces = e.reduce.clone();
+    reduces.sort_by_key(|g| std::cmp::Reverse(ctx.pos[g]));
+    for u in reduces {
+        let below: Vec<GlobalIx> = rows
+            .iter()
+            .filter(|r| ctx.pos[r] > ctx.pos[&u] && !eliminated.contains(r))
+            .copied()
+            .collect();
+        if below.is_empty() {
+            // Innermost reduction.
+            let mut outs = Vec::with_capacity(ctx.branches);
+            for b in 0..ctx.branches {
+                let r = ctx.graph.add_node(NodeKind::Reduce { op: e.reduce_op });
+                ctx.connect(val[b], r, 0);
+                outs.push((r, 0));
+            }
+            val = outs;
+            let row = ctx.pos[&u];
+            ctx.table.set(row, out_col, Cell::Prim(format!("Reduce_{}", ctx.name(u))));
+        } else if below.len() == 1 {
+            let w = below[0];
+            let crd_in = crd_override
+                .get(&w)
+                .cloned()
+                .unwrap_or_else(|| ctx.row_crd[&(ei, w)].clone());
+            let mut crd_outs = Vec::with_capacity(ctx.branches);
+            let mut val_outs = Vec::with_capacity(ctx.branches);
+            for b in 0..ctx.branches {
+                let s = ctx.graph.add_node(NodeKind::Spacc1 { op: e.reduce_op });
+                ctx.connect(crd_in[b], s, 0);
+                ctx.connect(val[b], s, 1);
+                crd_outs.push((s, 0));
+                val_outs.push((s, 1));
+            }
+            crd_override.insert(w, crd_outs);
+            val = val_outs;
+            let row = ctx.pos[&u];
+            ctx.table
+                .set(row, out_col, Cell::Prim(format!("Spacc1_{}[{}]", ctx.name(u), ctx.name(w))));
+        } else {
+            return Err(LowerError::Unsupported(format!(
+                "reduction over '{}' has {} free rows below it (needs a deeper accumulator)",
+                ctx.name(u),
+                below.len()
+            )));
+        }
+        eliminated.push(u);
+    }
+    let _ = ri;
+
+    // Register the produced tensor.
+    let structure: Vec<GlobalIx> = rows.iter().filter(|r| !eliminated.contains(r)).copied().collect();
+    let mut crd = HashMap::new();
+    for ix in &e.output.1 {
+        let streams = crd_override
+            .get(ix)
+            .cloned()
+            .unwrap_or_else(|| ctx.row_crd[&(ei, *ix)].clone());
+        crd.insert(*ix, streams);
+    }
+    // Resolve deferred payload connections now that the value stream
+    // exists (branch counts must match: splits between the deferred join
+    // and this registration are rejected at validation).
+    let t = e.output.0;
+    let mut remaining = Vec::new();
+    for (pt, node, port, b, count) in std::mem::take(&mut ctx.pending) {
+        if pt == t {
+            if count != ctx.branches {
+                return Err(LowerError::Unsupported(
+                    "parallelization split between a deferred reference and its producer".into(),
+                ));
+            }
+            ctx.connect(val[b], node, port);
+        } else {
+            remaining.push((pt, node, port, b, count));
+        }
+    }
+    ctx.pending = remaining;
+    ctx.produced.insert(e.output.0, Produced { structure, crd, val });
+    Ok(())
+}
+
+/// Marker for table bookkeeping of intermediate reference cells.
+fn prod_cell_marker() {}
+
+/// Merges a per-branch output stream back to a single stream with
+/// serializers (innermost split first).
+fn merge_branches(
+    ctx: &mut Ctx<'_>,
+    mut streams: Vec<H>,
+    structure: &[GlobalIx],
+    stream_row: GlobalIx,
+) -> Result<H, LowerError> {
+    if streams.len() == 1 {
+        return Ok(streams[0]);
+    }
+    let pos_in = |g: GlobalIx| structure.iter().position(|s| *s == g);
+    let Some(stream_pos) = pos_in(stream_row) else {
+        return Err(LowerError::Unsupported("output stream row missing from structure".into()));
+    };
+    for s in (0..ctx.splits.len()).rev() {
+        let rec = &ctx.splits[s];
+        let Some(split_pos) = pos_in(rec.row) else {
+            return Err(LowerError::Unsupported(
+                "parallelized row missing from the output structure".into(),
+            ));
+        };
+        let factor = rec.factor;
+        let order_crd = rec.order_crd.clone();
+        if streams.len() % factor != 0 {
+            return Err(LowerError::Unsupported("branch arithmetic mismatch".into()));
+        }
+        let groups = streams.len() / factor;
+        let mut merged = Vec::with_capacity(groups);
+        for gidx in 0..groups {
+            let chunk = &streams[gidx * factor..(gidx + 1) * factor];
+            if chunk.iter().all(|h| *h == chunk[0]) {
+                // Stream predates this split (pure broadcast): collapse.
+                merged.push(chunk[0]);
+                continue;
+            }
+            let depth = (stream_pos - split_pos) as u8;
+            let ser = ctx.graph.add_node(NodeKind::Serializer { factor, depth });
+            for (b, h) in chunk.iter().enumerate() {
+                ctx.connect(*h, ser, b);
+            }
+            ctx.connect(order_crd[gidx.min(order_crd.len() - 1)], ser, factor);
+            merged.push((ser, 0));
+        }
+        streams = merged;
+        if streams.len() == 1 {
+            break;
+        }
+    }
+    if streams.len() != 1 {
+        return Err(LowerError::Unsupported("failed to merge branch streams".into()));
+    }
+    Ok(streams[0])
+}

@@ -1,0 +1,262 @@
+//! The end-to-end compile-and-simulate driver.
+//!
+//! Partitions a program into fusion regions per the schedule, fuses each
+//! region (Section 5), lowers it to a SAMML graph (Section 6), executes the
+//! graphs in order on the Comal-style simulator — materializing
+//! region-boundary intermediates through the DRAM model, which is exactly
+//! the fusion/reuse tradeoff the paper evaluates — and optionally verifies
+//! every program output against the structural reference interpreter.
+
+use crate::fusion::{fuse_region, FusedRegion};
+use crate::interp::{interpret, InterpError};
+use crate::ir::{Program, TensorId};
+use crate::lower::{globalize_region, lower_region, LowerError, LowerOptions, Lowered};
+use crate::schedule::{IterationStyle, Schedule};
+use fuseflow_sam::MemLocation;
+use fuseflow_sim::{simulate, SimConfig, SimError, Stats, TensorEnv};
+use fuseflow_tensor::SparseTensor;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Errors from compilation or execution.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Lowering/fusion failure.
+    Lower(LowerError),
+    /// Simulation failure.
+    Sim(SimError),
+    /// Reference interpretation failure.
+    Interp(InterpError),
+    /// Verification mismatch.
+    Verify(String),
+    /// Missing input binding.
+    MissingInput(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Lower(e) => write!(f, "lowering failed: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Interp(e) => write!(f, "reference failed: {e}"),
+            PipelineError::Verify(m) => write!(f, "verification failed: {m}"),
+            PipelineError::MissingInput(n) => write!(f, "missing input '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LowerError> for PipelineError {
+    fn from(e: LowerError) -> Self {
+        PipelineError::Lower(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+impl From<InterpError> for PipelineError {
+    fn from(e: InterpError) -> Self {
+        PipelineError::Interp(e)
+    }
+}
+
+/// A compiled program: one lowered SAMML graph per fusion region.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Region expression ranges.
+    pub ranges: Vec<Range<usize>>,
+    /// Fused-region metadata (POGs, orders, scopes).
+    pub regions: Vec<FusedRegion>,
+    /// Lowered graphs + fusion tables.
+    pub lowered: Vec<Lowered>,
+}
+
+impl Compiled {
+    /// Total SAMML node count across regions.
+    pub fn node_count(&self) -> usize {
+        self.lowered.iter().map(|l| l.graph.node_count()).sum()
+    }
+
+    /// Renders every fusion table.
+    pub fn tables(&self) -> String {
+        self.lowered
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("== region {i} ==\n{}", l.table))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Compiles `program` under `schedule` (Fig 6's flow: Einsum expressions →
+/// cross-expression fusion → fusion tables → SAMML graphs).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Lower`] when fusion or lowering fails.
+pub fn compile(program: &Program, schedule: &Schedule) -> Result<Compiled, PipelineError> {
+    compile_at(program, schedule, MemLocation::Dram)
+}
+
+/// [`compile`] with an explicit memory location for tensors (the FPGA
+/// validation pins kernels in on-chip BRAM).
+pub fn compile_at(
+    program: &Program,
+    schedule: &Schedule,
+    location: MemLocation,
+) -> Result<Compiled, PipelineError> {
+    let ranges = schedule.resolve_regions(program.exprs().len());
+    let mut regions = Vec::with_capacity(ranges.len());
+    let mut lowered = Vec::with_capacity(ranges.len());
+    for r in &ranges {
+        let mut region = fuse_region(program, r.clone()).map_err(LowerError::from)?;
+        if schedule.iteration == IterationStyle::Global {
+            region = globalize_region(&region)?;
+        }
+        // Region outputs: produced tensors consumed by later expressions or
+        // marked as program outputs.
+        let produced: Vec<TensorId> =
+            program.exprs()[r.clone()].iter().map(|e| e.output.tensor).collect();
+        let mut outs = Vec::new();
+        for &t in &produced {
+            let consumed_later = program.exprs()[r.end..]
+                .iter()
+                .any(|c| c.inputs.iter().any(|a| a.tensor == t));
+            if consumed_later || program.outputs().contains(&t) {
+                outs.push(t);
+            }
+        }
+        if schedule.iteration == IterationStyle::Global {
+            // The composed expression only produces the final tensor.
+            outs.retain(|t| region.exprs.iter().any(|e| e.output.0 == *t));
+        }
+        // Resolve parallelization onto this region's global index space.
+        let mut par = Vec::new();
+        for (var, factor) in &schedule.parallelize {
+            if let Some(g) = region.global_for_program_var(*var) {
+                par.push((g, *factor));
+            }
+        }
+        let opts = LowerOptions { parallelize: par, location };
+        let low = match lower_region(program, &region, &outs, &opts) {
+            Ok(l) => l,
+            Err(e) if !opts.parallelize.is_empty() => {
+                // Parallelization may not apply to every region (e.g. the
+                // row is reduced here); fall back to the serial lowering.
+                let serial = LowerOptions { parallelize: vec![], location };
+                lower_region(program, &region, &outs, &serial).map_err(|_| e)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        regions.push(region);
+        lowered.push(low);
+    }
+    Ok(Compiled { ranges, regions, lowered })
+}
+
+/// The result of executing a compiled program.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Program outputs by name.
+    pub outputs: HashMap<String, SparseTensor>,
+    /// Counters accumulated across all regions (cycles add up: unfused
+    /// kernels execute back to back).
+    pub stats: Stats,
+    /// Per-region counters.
+    pub per_region: Vec<Stats>,
+}
+
+/// Executes a compiled program on the simulator.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run(
+    program: &Program,
+    compiled: &Compiled,
+    inputs: &HashMap<String, SparseTensor>,
+    sim: &SimConfig,
+) -> Result<RunResult, PipelineError> {
+    let mut env = TensorEnv::new();
+    for (_, decl) in program.inputs() {
+        let t = inputs
+            .get(&decl.name)
+            .ok_or_else(|| PipelineError::MissingInput(decl.name.clone()))?;
+        env.insert(decl.name.clone(), t.clone());
+    }
+    let mut total = Stats::default();
+    let mut per_region = Vec::new();
+    for low in &compiled.lowered {
+        for p in &low.permuted_inputs {
+            let base = env
+                .get(&p.base)
+                .ok_or_else(|| PipelineError::MissingInput(p.base.clone()))?;
+            let permuted = base.permute(&p.perm, base.format());
+            env.insert(p.derived.clone(), permuted);
+        }
+        let res = simulate(&low.graph, &env, sim)?;
+        for (name, t) in res.outputs {
+            env.insert(name, t);
+        }
+        per_region.push(res.stats.clone());
+        total.accumulate(&res.stats);
+    }
+    let mut outputs = HashMap::new();
+    for &t in program.outputs() {
+        let name = &program.tensor(t).name;
+        let tensor = env
+            .get(name)
+            .ok_or_else(|| PipelineError::Verify(format!("output '{name}' never produced")))?;
+        outputs.insert(name.clone(), tensor.clone());
+    }
+    Ok(RunResult { outputs, stats: total, per_region })
+}
+
+/// Compiles, runs, and verifies in one call.
+///
+/// # Errors
+///
+/// Adds [`PipelineError::Verify`] when a simulated output diverges from the
+/// structural reference interpreter.
+pub fn compile_run_verify(
+    program: &Program,
+    schedule: &Schedule,
+    inputs: &HashMap<String, SparseTensor>,
+    sim: &SimConfig,
+) -> Result<RunResult, PipelineError> {
+    let compiled = compile(program, schedule)?;
+    let result = run(program, &compiled, inputs, sim)?;
+    verify(program, inputs, &result.outputs)?;
+    Ok(result)
+}
+
+/// Verifies simulated outputs against the reference interpreter.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Verify`] describing the first mismatch.
+pub fn verify(
+    program: &Program,
+    inputs: &HashMap<String, SparseTensor>,
+    outputs: &HashMap<String, SparseTensor>,
+) -> Result<(), PipelineError> {
+    let golden = interpret(program, inputs)?;
+    for (name, t) in outputs {
+        let Some(g) = golden.get(name) else {
+            return Err(PipelineError::Verify(format!("reference never produced '{name}'")));
+        };
+        let got = t.to_dense();
+        if !got.approx_eq(&g.vals) {
+            return Err(PipelineError::Verify(format!(
+                "output '{name}' diverges from reference (max abs diff {})",
+                got.max_abs_diff(&g.vals)
+            )));
+        }
+    }
+    Ok(())
+}

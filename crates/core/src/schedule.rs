@@ -1,0 +1,173 @@
+//! The scheduling language (Section 4.2 / Section 7).
+//!
+//! Users control fusion granularity (`Fuse{}` regions), the iteration style
+//! (FuseFlow's factored iteration vs. the Custard/Stardust global-iteration
+//! baseline), per-expression dataflow orders (attached on the [`crate::ir::Program`]
+//! directly), parallelization, and sparsity blocking.
+
+use crate::ir::IndexVar;
+use std::ops::Range;
+
+/// How expressions group into fusion regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionGranularity {
+    /// Every expression compiles alone; all intermediates materialize.
+    Unfused,
+    /// Explicit `Fuse{}` regions: contiguous expression ranges.
+    Regions(Vec<Range<usize>>),
+    /// One region spanning the entire program.
+    Full,
+}
+
+/// Iteration-space style used during lowering (Section 3, Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IterationStyle {
+    /// FuseFlow's factored iteration: one sub-space per expression,
+    /// interleaved reductions via sparse accumulators.
+    #[default]
+    Factored,
+    /// Prior work's globally fused iteration space (Custard/Stardust):
+    /// products distribute into one n-dimensional loop nest.
+    Global,
+}
+
+/// A complete schedule for compiling one program.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Fusion granularity.
+    pub fusion: FusionGranularity,
+    /// Iteration style.
+    pub iteration: IterationStyle,
+    /// Stream parallelization: `(index, factor)` pairs applied outermost
+    /// first; indices are the program-level variables.
+    pub parallelize: Vec<(IndexVar, usize)>,
+}
+
+impl Schedule {
+    /// Fully unfused schedule.
+    pub fn unfused() -> Self {
+        Schedule {
+            fusion: FusionGranularity::Unfused,
+            iteration: IterationStyle::Factored,
+            parallelize: Vec::new(),
+        }
+    }
+
+    /// Fully fused schedule.
+    pub fn full() -> Self {
+        Schedule {
+            fusion: FusionGranularity::Full,
+            iteration: IterationStyle::Factored,
+            parallelize: Vec::new(),
+        }
+    }
+
+    /// Explicit `Fuse{}` regions over expression indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if regions overlap or are out of order.
+    pub fn regions(regions: Vec<Range<usize>>) -> Self {
+        let mut last = 0;
+        for r in &regions {
+            assert!(r.start >= last && r.end >= r.start, "regions must be ordered and disjoint");
+            last = r.end;
+        }
+        Schedule {
+            fusion: FusionGranularity::Regions(regions),
+            iteration: IterationStyle::Factored,
+            parallelize: Vec::new(),
+        }
+    }
+
+    /// Switches to the global-iteration (Custard/Stardust) lowering.
+    pub fn with_global_iteration(mut self) -> Self {
+        self.iteration = IterationStyle::Global;
+        self
+    }
+
+    /// Adds stream parallelization at `index` with the given factor.
+    pub fn with_parallelization(mut self, index: IndexVar, factor: usize) -> Self {
+        assert!(factor >= 1, "parallel factor must be at least 1");
+        if factor > 1 {
+            self.parallelize.push((index, factor));
+        }
+        self
+    }
+
+    /// Resolves the concrete region list for a program of `n` expressions.
+    pub fn resolve_regions(&self, n: usize) -> Vec<Range<usize>> {
+        match &self.fusion {
+            FusionGranularity::Unfused => (0..n).map(|i| i..i + 1).collect(),
+            FusionGranularity::Full => {
+                if n == 0 {
+                    vec![]
+                } else {
+                    vec![0..n]
+                }
+            }
+            FusionGranularity::Regions(rs) => {
+                // Fill gaps between declared regions with singletons.
+                let mut out = Vec::new();
+                let mut next = 0;
+                for r in rs {
+                    while next < r.start {
+                        out.push(next..next + 1);
+                        next += 1;
+                    }
+                    out.push(r.clone());
+                    next = r.end;
+                }
+                while next < n {
+                    out.push(next..next + 1);
+                    next += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::unfused()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfused_regions_are_singletons() {
+        let s = Schedule::unfused();
+        assert_eq!(s.resolve_regions(3), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn full_region_spans_everything() {
+        let s = Schedule::full();
+        assert_eq!(s.resolve_regions(4), vec![0..4]);
+        assert!(Schedule::full().resolve_regions(0).is_empty());
+    }
+
+    #[test]
+    fn partial_regions_fill_gaps() {
+        let s = Schedule::regions(vec![1..3, 4..6]);
+        assert_eq!(s.resolve_regions(7), vec![0..1, 1..3, 3..4, 4..6, 6..7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_regions_panic() {
+        let _ = Schedule::regions(vec![0..3, 2..4]);
+    }
+
+    #[test]
+    fn parallelization_of_one_is_dropped() {
+        let s = Schedule::full().with_parallelization(IndexVar(0), 1);
+        assert!(s.parallelize.is_empty());
+        let s = Schedule::full().with_parallelization(IndexVar(0), 4);
+        assert_eq!(s.parallelize, vec![(IndexVar(0), 4)]);
+    }
+}

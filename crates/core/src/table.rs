@@ -1,0 +1,146 @@
+//! The fusion-table lowering IR (Section 6.1).
+//!
+//! Rows are the fused iteration order (plus a final `val` row); columns are
+//! tensor views in processing order; cells are primitives or named
+//! references to streams of other cells. The table is recorded as the
+//! lowering walks the fused expressions column group by column group, so a
+//! reference cell always names a stream that the deferred-construction
+//! bookkeeping has already planned (the in-memory analogue of the paper's
+//! "pointers to components that have not been created yet").
+
+/// One cell of a fusion table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// No operation at this row for this view.
+    Empty,
+    /// A primitive that instantiates a dataflow node (level scan, repeat,
+    /// intersect, compute pipeline, reduction, ...).
+    Prim(String),
+    /// A named pointer to another cell's stream (`⟨T0_i⟩`-style).
+    Ref(String),
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Empty => write!(f, "·"),
+            Cell::Prim(s) => write!(f, "{s}"),
+            Cell::Ref(s) => write!(f, "⟨{s}⟩"),
+        }
+    }
+}
+
+/// A fusion table for one fused region.
+#[derive(Debug, Clone, Default)]
+pub struct FusionTable {
+    rows: Vec<String>,
+    columns: Vec<String>,
+    cells: Vec<Vec<Cell>>,
+}
+
+impl FusionTable {
+    /// Creates a table with the given iteration-order row labels (a final
+    /// `val` row is appended automatically).
+    pub fn new(order: Vec<String>) -> Self {
+        let mut rows = order;
+        rows.push("val".to_string());
+        FusionTable { rows, columns: Vec::new(), cells: Vec::new() }
+    }
+
+    /// Adds a column (tensor view) and returns its id.
+    pub fn add_column(&mut self, name: impl Into<String>) -> usize {
+        self.columns.push(name.into());
+        self.cells.push(vec![Cell::Empty; self.rows.len()]);
+        self.columns.len() - 1
+    }
+
+    /// Sets the cell for `(row, column)`; the `val` row is
+    /// `self.row_count() - 1`.
+    pub fn set(&mut self, row: usize, col: usize, cell: Cell) {
+        self.cells[col][row] = cell;
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        &self.cells[col][row]
+    }
+
+    /// Number of rows (iteration order + `val`).
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The `val` row index.
+    pub fn val_row(&self) -> usize {
+        self.rows.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Row labels.
+    pub fn rows(&self) -> &[String] {
+        &self.rows
+    }
+
+    /// Column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Count of non-empty cells (used by compile statistics).
+    pub fn filled_cells(&self) -> usize {
+        self.cells.iter().flatten().filter(|c| **c != Cell::Empty).count()
+    }
+}
+
+impl std::fmt::Display for FusionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for (ci, col) in self.cells.iter().enumerate() {
+            for cell in col {
+                widths[ci] = widths[ci].max(cell.to_string().chars().count());
+            }
+        }
+        let row_w = self.rows.iter().map(|r| r.chars().count()).max().unwrap_or(1);
+        write!(f, "{:row_w$} ", "")?;
+        for (ci, c) in self.columns.iter().enumerate() {
+            write!(f, "| {:w$} ", c, w = widths[ci])?;
+        }
+        writeln!(f)?;
+        for (ri, r) in self.rows.iter().enumerate() {
+            write!(f, "{r:row_w$} ")?;
+            for ci in 0..self.columns.len() {
+                write!(f, "| {:w$} ", self.cells[ci][ri].to_string(), w = widths[ci])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout() {
+        let mut t = FusionTable::new(vec!["i".into(), "k".into(), "j".into()]);
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.val_row(), 3);
+        let a = t.add_column("A[i,k]");
+        let x = t.add_column("X[k,j]");
+        t.set(0, a, Cell::Prim("LS(root)".into()));
+        t.set(0, x, Cell::Prim("Rep(root,A_i)".into()));
+        t.set(1, a, Cell::Prim("LS(A_i)".into()));
+        t.set(3, x, Cell::Ref("X_val".into()));
+        assert_eq!(t.filled_cells(), 4);
+        assert_eq!(t.cell(0, a), &Cell::Prim("LS(root)".into()));
+        let s = t.to_string();
+        assert!(s.contains("A[i,k]"));
+        assert!(s.contains("⟨X_val⟩"));
+        assert!(s.contains("val"));
+    }
+}

@@ -1,0 +1,480 @@
+//! The SAMML dataflow graph: nodes, streams, tensor/output bindings.
+
+use crate::{MemLocation, NodeKind};
+use fuseflow_tensor::Format;
+use std::collections::HashMap;
+
+/// Identifier of a node within a [`SamGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One endpoint of a stream: a node plus a port index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// Owning node.
+    pub node: NodeId,
+    /// Port index within the node's input or output port list.
+    pub port: usize,
+}
+
+/// A directed stream connection from an output port to an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producer endpoint.
+    pub src: Port,
+    /// Consumer endpoint.
+    pub dst: Port,
+}
+
+/// An input-tensor binding slot; actual tensors are supplied at simulation
+/// time by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorSlot {
+    /// Binding name (matches the environment given to the simulator).
+    pub name: String,
+    /// Whether accesses are charged to DRAM or on-chip storage.
+    pub location: MemLocation,
+}
+
+/// An output-tensor slot: the writers' target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSlot {
+    /// Output name.
+    pub name: String,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Storage format to assemble.
+    pub format: Format,
+    /// Dense block shape (`[1, 1]` for scalar outputs).
+    pub block: [usize; 2],
+    /// Whether writes are charged to DRAM.
+    pub location: MemLocation,
+}
+
+/// Errors reported by [`SamGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A port index was out of range for its node.
+    BadPort {
+        /// Offending node.
+        node: usize,
+        /// Port index.
+        port: usize,
+        /// `true` for input ports.
+        input: bool,
+    },
+    /// An input port has more than one incoming edge.
+    MultipleWriters {
+        /// Offending node.
+        node: usize,
+        /// Port index.
+        port: usize,
+    },
+    /// A required input port is unconnected.
+    Unconnected {
+        /// Offending node.
+        node: usize,
+        /// Port index.
+        port: usize,
+    },
+    /// The graph contains a cycle (SAMML graphs are DAGs).
+    Cyclic,
+    /// A node references a tensor or output slot that does not exist.
+    BadSlot {
+        /// Offending node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::BadPort { node, port, input } => {
+                let dir = if *input { "input" } else { "output" };
+                write!(f, "node {node}: {dir} port {port} out of range")
+            }
+            GraphError::MultipleWriters { node, port } => {
+                write!(f, "node {node}: input port {port} has multiple writers")
+            }
+            GraphError::Unconnected { node, port } => {
+                write!(f, "node {node}: required input port {port} unconnected")
+            }
+            GraphError::Cyclic => write!(f, "graph contains a cycle"),
+            GraphError::BadSlot { node } => write!(f, "node {node} references a missing slot"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A SAMML dataflow graph (Fig 2 / Fig 10 of the paper): an acyclic network
+/// of streaming primitives plus tensor and output bindings.
+///
+/// # Example
+///
+/// ```
+/// use fuseflow_sam::{MemLocation, NodeKind, SamGraph};
+/// use fuseflow_tensor::Format;
+///
+/// // root -> scan level 0 of tensor B -> write crds of output level 0.
+/// let mut g = SamGraph::new();
+/// let b = g.add_tensor("B", MemLocation::Dram);
+/// let out = g.add_output("T", vec![4], Format::sparse_vec(), MemLocation::Dram);
+/// let root = g.add_node(NodeKind::Root);
+/// let ls = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+/// let w = g.add_node(NodeKind::CrdWriter { output: out, level: 0 });
+/// let vals = g.add_node(NodeKind::Array { tensor: b });
+/// let vw = g.add_node(NodeKind::ValWriter { output: out });
+/// g.connect(root, 0, ls, 0);
+/// g.connect(ls, 0, w, 0);
+/// g.connect(ls, 1, vals, 0);
+/// g.connect(vals, 0, vw, 0);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SamGraph {
+    nodes: Vec<NodeKind>,
+    labels: Vec<String>,
+    edges: Vec<Edge>,
+    tensors: Vec<TensorSlot>,
+    outputs: Vec<OutputSlot>,
+}
+
+impl SamGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        SamGraph::default()
+    }
+
+    /// Registers an input tensor slot, returning its index.
+    pub fn add_tensor(&mut self, name: impl Into<String>, location: MemLocation) -> usize {
+        self.tensors.push(TensorSlot { name: name.into(), location });
+        self.tensors.len() - 1
+    }
+
+    /// Registers an output slot, returning its index.
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        format: Format,
+        location: MemLocation,
+    ) -> usize {
+        self.outputs.push(OutputSlot { name: name.into(), shape, format, block: [1, 1], location });
+        self.outputs.len() - 1
+    }
+
+    /// Registers a blocked output slot.
+    pub fn add_blocked_output(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        format: Format,
+        block: [usize; 2],
+        location: MemLocation,
+    ) -> usize {
+        self.outputs.push(OutputSlot { name: name.into(), shape, format, block, location });
+        self.outputs.len() - 1
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let label = kind.name();
+        self.add_labeled_node(kind, label)
+    }
+
+    /// Adds a node with an explicit display label.
+    pub fn add_labeled_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
+        self.nodes.push(kind);
+        self.labels.push(label.into());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects `src.out[src_port]` to `dst.in[dst_port]`. Output ports may
+    /// fan out to multiple consumers; input ports accept one producer
+    /// (checked in [`SamGraph::validate`]).
+    pub fn connect(&mut self, src: NodeId, src_port: usize, dst: NodeId, dst_port: usize) {
+        self.edges.push(Edge {
+            src: Port { node: src, port: src_port },
+            dst: Port { node: dst, port: dst_port },
+        });
+    }
+
+    /// The node kinds, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Node kind for an id.
+    pub fn node(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0]
+    }
+
+    /// Display label for a node.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Input tensor slots.
+    pub fn tensors(&self) -> &[TensorSlot] {
+        &self.tensors
+    }
+
+    /// Output slots.
+    pub fn outputs(&self) -> &[OutputSlot] {
+        &self.outputs
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Consumers of each output port, keyed by `(node, out_port)`.
+    pub fn fanout(&self) -> HashMap<(NodeId, usize), Vec<Port>> {
+        let mut m: HashMap<(NodeId, usize), Vec<Port>> = HashMap::new();
+        for e in &self.edges {
+            m.entry((e.src.node, e.src.port)).or_default().push(e.dst);
+        }
+        m
+    }
+
+    /// Producer of each input port, keyed by `(node, in_port)`.
+    pub fn fanin(&self) -> HashMap<(NodeId, usize), Port> {
+        let mut m = HashMap::new();
+        for e in &self.edges {
+            m.insert((e.dst.node, e.dst.port), e.src);
+        }
+        m
+    }
+
+    /// Validates port ranges, single-writer inputs, required connections,
+    /// slot references, and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        // Slot references.
+        for (i, kind) in self.nodes.iter().enumerate() {
+            let ok = match kind {
+                NodeKind::LevelScanner { tensor, .. } | NodeKind::Array { tensor } => {
+                    *tensor < self.tensors.len()
+                }
+                NodeKind::CrdWriter { output, .. } | NodeKind::ValWriter { output } => {
+                    *output < self.outputs.len()
+                }
+                _ => true,
+            };
+            if !ok {
+                return Err(GraphError::BadSlot { node: i });
+            }
+        }
+        // Port ranges and single writers.
+        let mut writers: HashMap<(usize, usize), usize> = HashMap::new();
+        for e in &self.edges {
+            let s = e.src.node.0;
+            let d = e.dst.node.0;
+            if s >= self.nodes.len() || e.src.port >= self.nodes[s].output_ports().len() {
+                return Err(GraphError::BadPort { node: s, port: e.src.port, input: false });
+            }
+            if d >= self.nodes.len() || e.dst.port >= self.nodes[d].input_ports().len() {
+                return Err(GraphError::BadPort { node: d, port: e.dst.port, input: true });
+            }
+            let count = writers.entry((d, e.dst.port)).or_insert(0);
+            *count += 1;
+            if *count > 1 {
+                return Err(GraphError::MultipleWriters { node: d, port: e.dst.port });
+            }
+        }
+        // Required inputs connected.
+        for (i, kind) in self.nodes.iter().enumerate() {
+            for (p, sig) in kind.input_ports().iter().enumerate() {
+                if sig.required && !writers.contains_key(&(i, p)) {
+                    return Err(GraphError::Unconnected { node: i, port: p });
+                }
+            }
+        }
+        // Acyclicity via Kahn's algorithm.
+        if self.topo_order().is_none() {
+            return Err(GraphError::Cyclic);
+        }
+        Ok(())
+    }
+
+    /// A topological order of the nodes, or `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.src.node.0].push(e.dst.node.0);
+            indeg[e.dst.node.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(NodeId(u));
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Counts of each node kind (for compile statistics and tests).
+    pub fn kind_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for kind in &self.nodes {
+            let key = match kind {
+                NodeKind::LevelScanner { .. } => "LevelScanner".to_string(),
+                NodeKind::Array { .. } => "Array".to_string(),
+                NodeKind::Alu { .. } => "Alu".to_string(),
+                NodeKind::Reduce { .. } => "Reduce".to_string(),
+                NodeKind::Spacc1 { .. } => "Spacc1".to_string(),
+                NodeKind::CrdWriter { .. } => "CrdWriter".to_string(),
+                NodeKind::ValWriter { .. } => "ValWriter".to_string(),
+                NodeKind::Parallelizer { .. } => "Parallelizer".to_string(),
+                NodeKind::Serializer { .. } => "Serializer".to_string(),
+                other => format!("{other:?}").split_whitespace().next().unwrap().to_string(),
+            };
+            *h.entry(key).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph samml {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (i, _) in self.nodes.iter().enumerate() {
+            s.push_str(&format!("  n{} [label=\"{}\"];\n", i, self.labels[i]));
+        }
+        for e in &self.edges {
+            s.push_str(&format!(
+                "  n{} -> n{} [label=\"{}→{}\"];\n",
+                e.src.node.0, e.dst.node.0, e.src.port, e.dst.port
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl std::fmt::Display for SamGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SamGraph({} nodes, {} edges, {} tensors, {} outputs)",
+            self.nodes.len(),
+            self.edges.len(),
+            self.tensors.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AluOp;
+
+    fn tiny_graph() -> (SamGraph, NodeId, NodeId) {
+        let mut g = SamGraph::new();
+        let t = g.add_tensor("B", MemLocation::Dram);
+        let o = g.add_output("T", vec![4], Format::sparse_vec(), MemLocation::Dram);
+        let root = g.add_node(NodeKind::Root);
+        let ls = g.add_node(NodeKind::LevelScanner { tensor: t, level: 0 });
+        let arr = g.add_node(NodeKind::Array { tensor: t });
+        let cw = g.add_node(NodeKind::CrdWriter { output: o, level: 0 });
+        let vw = g.add_node(NodeKind::ValWriter { output: o });
+        g.connect(root, 0, ls, 0);
+        g.connect(ls, 0, cw, 0);
+        g.connect(ls, 1, arr, 0);
+        g.connect(arr, 0, vw, 0);
+        (g, ls, arr)
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let (g, _, _) = tiny_graph();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn unconnected_required_port_fails() {
+        let mut g = SamGraph::new();
+        let t = g.add_tensor("B", MemLocation::Dram);
+        g.add_node(NodeKind::LevelScanner { tensor: t, level: 0 });
+        assert_eq!(g.validate(), Err(GraphError::Unconnected { node: 0, port: 0 }));
+    }
+
+    #[test]
+    fn multiple_writers_fail() {
+        let (mut g, ls, arr) = tiny_graph();
+        g.connect(ls, 1, arr, 0); // second writer to arr.in0
+        assert!(matches!(g.validate(), Err(GraphError::MultipleWriters { .. })));
+    }
+
+    #[test]
+    fn bad_slot_fails() {
+        let mut g = SamGraph::new();
+        g.add_node(NodeKind::Array { tensor: 7 });
+        assert_eq!(g.validate(), Err(GraphError::BadSlot { node: 0 }));
+    }
+
+    #[test]
+    fn bad_port_fails() {
+        let (mut g, ls, arr) = tiny_graph();
+        g.connect(ls, 5, arr, 0);
+        assert!(matches!(g.validate(), Err(GraphError::BadPort { input: false, .. })));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = SamGraph::new();
+        let a = g.add_node(NodeKind::Alu { op: AluOp::Relu });
+        let b = g.add_node(NodeKind::Alu { op: AluOp::Relu });
+        g.connect(a, 0, b, 0);
+        g.connect(b, 0, a, 0);
+        assert_eq!(g.validate(), Err(GraphError::Cyclic));
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn fanout_is_allowed_and_indexed() {
+        let (mut g, ls, _) = tiny_graph();
+        let extra = g.add_node(NodeKind::Alu { op: AluOp::Relu });
+        // NOTE: crd into a val port would be kind-mismatched in a real
+        // compile; fan-out bookkeeping is what we check here.
+        g.connect(ls, 0, extra, 0);
+        let fo = g.fanout();
+        assert_eq!(fo[&(ls, 0)].len(), 2);
+    }
+
+    #[test]
+    fn dot_contains_nodes() {
+        let (g, _, _) = tiny_graph();
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph samml"));
+        assert!(dot.contains("Root"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let (g, _, _) = tiny_graph();
+        let h = g.kind_histogram();
+        assert_eq!(h["LevelScanner"], 1);
+        assert_eq!(h["Array"], 1);
+        assert_eq!(h["Root"], 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! SAMML: the Sparse Abstract Machine dataflow IR with ML extensions.
+//!
+//! This crate defines the target representation of the FuseFlow compiler
+//! (paper Sections 2 and 6): streaming dataflow graphs whose nodes are the
+//! SAM primitives — level scanners, stream joiners (intersect/union),
+//! repeaters, ALUs and reducers, level writers — extended with the SAMML
+//! ML primitives FuseFlow adds: non-linear ALU functions, masking,
+//! block-vectorized (tile) streams, higher-order sparse accumulators for
+//! factored iteration, and stream parallelizer/serializer pairs.
+//!
+//! The graphs are abstract — decoupled from any particular accelerator —
+//! and are executed by `fuseflow-sim`'s cycle-level backends.
+//!
+//! # Example
+//!
+//! A level scanner wired from a root reference generator:
+//!
+//! ```
+//! use fuseflow_sam::{MemLocation, NodeKind, SamGraph};
+//!
+//! let mut g = SamGraph::new();
+//! let b = g.add_tensor("B", MemLocation::Dram);
+//! let root = g.add_node(NodeKind::Root);
+//! let scan = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+//! g.connect(root, 0, scan, 0);
+//! assert!(g.validate().is_ok());
+//! println!("{}", g.to_dot());
+//! ```
+
+mod graph;
+mod node;
+mod token;
+
+pub use graph::{Edge, GraphError, NodeId, OutputSlot, Port, SamGraph, TensorSlot};
+pub use node::{AluOp, MemLocation, NodeKind, PortSig, ReduceOp};
+pub use token::{check_well_formed, Block, Payload, StreamKind, Token};

@@ -1,0 +1,424 @@
+//! SAMML dataflow node kinds and their port signatures.
+
+use crate::StreamKind;
+
+/// Scalar/block operations performed by [`NodeKind::Alu`] nodes.
+///
+/// The first group are SAM's tensor-algebra ops; the second group are the
+/// ML extensions FuseFlow adds to SAM (non-linear functions, masking
+/// support, constants) — "SAMML" primitives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AluOp {
+    /// Elementwise addition (binary).
+    Add,
+    /// Elementwise subtraction (binary).
+    Sub,
+    /// Elementwise multiplication; on blocks this is a **tile matmul**
+    /// (contraction ALU for blocked streams). Binary.
+    Mul,
+    /// Elementwise multiplication that stays elementwise on blocks
+    /// (masking). Binary.
+    MulElem,
+    /// Elementwise division (`0/0 = 0`). Binary.
+    Div,
+    /// Elementwise maximum (binary).
+    Max,
+    /// Rectified linear unit (unary).
+    Relu,
+    /// Exponential (unary).
+    Exp,
+    /// GELU, tanh approximation (unary).
+    Gelu,
+    /// Logistic sigmoid (unary).
+    Sigmoid,
+    /// Negation (unary).
+    Neg,
+    /// Multiply by a constant (unary).
+    Scale(f32),
+    /// Add a constant (unary).
+    AddConst(f32),
+    /// Row-reduce a block to a column block with `+` (unary; identity on
+    /// scalars). Used to build blocked softmax denominators.
+    BlockRowSum,
+    /// Row-reduce a block to a column block with `max` (unary; identity on
+    /// scalars).
+    BlockRowMax,
+    /// Broadcast-divide a block by a column block (binary; plain divide on
+    /// scalars).
+    BlockColDiv,
+    /// Broadcast-subtract a column block from a block (binary; plain
+    /// subtract on scalars).
+    BlockColSub,
+}
+
+impl AluOp {
+    /// Number of value operands.
+    pub fn arity(&self) -> usize {
+        match self {
+            AluOp::Add
+            | AluOp::Sub
+            | AluOp::Mul
+            | AluOp::MulElem
+            | AluOp::Div
+            | AluOp::Max
+            | AluOp::BlockColDiv
+            | AluOp::BlockColSub => 2,
+            _ => 1,
+        }
+    }
+
+    /// Applies the op to scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with the wrong arity (second operand ignored for
+    /// unary ops).
+    pub fn apply_scalar(&self, a: f32, b: f32) -> f32 {
+        match self {
+            AluOp::Add => a + b,
+            AluOp::Sub | AluOp::BlockColSub => a - b,
+            AluOp::Mul | AluOp::MulElem => a * b,
+            AluOp::Div | AluOp::BlockColDiv => {
+                if a == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Max => a.max(b),
+            AluOp::Relu => a.max(0.0),
+            AluOp::Exp => a.exp(),
+            AluOp::Gelu => 0.5 * a * (1.0 + (0.797_884_6 * (a + 0.044_715 * a * a * a)).tanh()),
+            AluOp::Sigmoid => 1.0 / (1.0 + (-a).exp()),
+            AluOp::Neg => -a,
+            AluOp::Scale(s) => a * s,
+            AluOp::AddConst(c) => a + c,
+            AluOp::BlockRowSum | AluOp::BlockRowMax => a,
+        }
+    }
+
+    /// Number of floating-point operations this op contributes per scalar
+    /// element (for instrumentation/heuristic agreement).
+    pub fn flops_per_elem(&self) -> u64 {
+        match self {
+            AluOp::Gelu => 8,
+            AluOp::Exp | AluOp::Sigmoid => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// Reduction operators for [`NodeKind::Reduce`] and [`NodeKind::Spacc1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum-reduction (identity 0).
+    Sum,
+    /// Max-reduction (identity -inf).
+    Max,
+}
+
+impl ReduceOp {
+    /// The identity element.
+    pub fn identity(&self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f32::MIN,
+        }
+    }
+
+    /// Applies the reduction to scalars.
+    pub fn apply(&self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Where a tensor lives during execution; controls whether touches are
+/// charged to the DRAM model or considered on-chip (BRAM/registers), used by
+/// the FPGA-validation backend (Section 8.2 selects kernels that "fit
+/// entirely in on-chip BRAM").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemLocation {
+    /// Off-chip DRAM: every touch is charged to the memory model.
+    #[default]
+    Dram,
+    /// On-chip storage: no DRAM traffic.
+    OnChip,
+}
+
+/// A SAMML dataflow node kind.
+///
+/// Ports follow fixed conventions documented per variant; see
+/// [`NodeKind::input_ports`] / [`NodeKind::output_ports`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Emits the root reference stream `[Ref(0), Done]`.
+    ///
+    /// Outputs: `0: ref`.
+    Root,
+    /// Scans one level of an input tensor: for each input reference, emits
+    /// the fiber's coordinates and child references.
+    ///
+    /// Inputs: `0: ref`. Outputs: `0: crd`, `1: ref`.
+    LevelScanner {
+        /// Input tensor slot in the graph's tensor table.
+        tensor: usize,
+        /// Level scanned.
+        level: usize,
+    },
+    /// Repeats each base element once per element of the corresponding
+    /// repeat-signal fiber (SAM's `RepSigGen` + `Repeat` merged).
+    ///
+    /// Inputs: `0: base (any payload)`, `1: rep (crd)`. Outputs: `0: repeated base`.
+    Repeat,
+    /// Coordinate intersection of two streams (conjunctive merge, for
+    /// multiplication).
+    ///
+    /// Inputs: `0: crdA`, `1: payloadA`, `2: crdB`, `3: payloadB` (payload
+    /// ports optional). Outputs: `0: crd`, `1: payloadA`, `2: payloadB`.
+    Intersect,
+    /// Coordinate union of two streams (disjunctive merge, for addition).
+    /// Missing sides produce [`crate::Payload::Empty`].
+    ///
+    /// Ports as [`NodeKind::Intersect`].
+    Union,
+    /// Left-outer coordinate merge: emits exactly the left side's
+    /// coordinates, with the right payload or [`crate::Payload::Empty`].
+    /// Used when joining a *streamed intermediate* (left) at a
+    /// non-innermost level: the intermediate's deeper fibers stay aligned
+    /// while absent right-side operands contribute zeros.
+    ///
+    /// Ports as [`NodeKind::Intersect`].
+    UnionLeft,
+    /// Fetches values of an input tensor: `ref -> val`. `Empty` references
+    /// produce zero values.
+    ///
+    /// Inputs: `0: ref`. Outputs: `0: val`.
+    Array {
+        /// Input tensor slot.
+        tensor: usize,
+    },
+    /// Elementwise compute unit.
+    ///
+    /// Inputs: `0: val`, `1: val` (binary ops only). Outputs: `0: val`.
+    Alu {
+        /// Operation performed.
+        op: AluOp,
+    },
+    /// Innermost reduction: collapses each inner fiber of the value stream
+    /// to one value; output is one stop-level shallower.
+    ///
+    /// Inputs: `0: val`. Outputs: `0: val`.
+    Reduce {
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Higher-order sparse accumulator ("Vector (1) Reducer", the
+    /// interleaved reduction of Section 6 enabling factored iteration):
+    /// accumulates `(crd, val)` fibers across `Stop(0)` boundaries, flushes
+    /// a merged sorted fiber on `Stop(k >= 1)`.
+    ///
+    /// Inputs: `0: crd`, `1: val`. Outputs: `0: crd`, `1: val`.
+    Spacc1 {
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Drops coordinates whose inner fiber is empty (tensor-construction
+    /// region). Functionally the writers tolerate empty fibers; this node
+    /// exists for structural fidelity and costs pipeline cycles.
+    ///
+    /// Inputs: `0: outer crd`, `1: inner crd`. Outputs: `0: outer crd`, `1: inner crd`.
+    CrdDrop,
+    /// Writes the coordinates of one output level.
+    ///
+    /// Inputs: `0: crd`.
+    CrdWriter {
+        /// Output slot in the graph's output table.
+        output: usize,
+        /// Level written.
+        level: usize,
+    },
+    /// Writes the output value stream.
+    ///
+    /// Inputs: `0: val`.
+    ValWriter {
+        /// Output slot.
+        output: usize,
+    },
+    /// Splits a `(crd, payload)` stream element-round-robin across `factor`
+    /// branches; stop tokens broadcast to every branch (Section 7,
+    /// "Parallelization": stream parallelizer).
+    ///
+    /// Inputs: `0: crd`, `1: payload`. Outputs: `2b: crd`, `2b+1: payload`
+    /// for branch `b`.
+    Parallelizer {
+        /// Number of branches.
+        factor: usize,
+    },
+    /// Merges `factor` branch streams back in round-robin fiber order
+    /// (stream serializer). `depth` is the number of nesting levels each
+    /// round-robin unit spans (0 = single elements, 1 = `Stop(0)`-terminated
+    /// fibers, ...). The *order* port receives the original pre-split
+    /// coordinate stream, which determines exactly how many units each
+    /// barrier group contains (this disambiguates units whose boundary stop
+    /// coalesced into a barrier stop).
+    ///
+    /// Inputs: `b in 0..factor: branch b`, `factor: order (crd)`.
+    /// Outputs: `0: merged`.
+    Serializer {
+        /// Number of branches.
+        factor: usize,
+        /// Nesting depth of one round-robin unit.
+        depth: u8,
+    },
+}
+
+/// A port signature: stream kind plus whether connection is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSig {
+    /// Expected stream kind (None = any payload-carrying stream).
+    pub kind: Option<StreamKind>,
+    /// Whether the port must be connected for the graph to validate.
+    pub required: bool,
+}
+
+const fn req(kind: StreamKind) -> PortSig {
+    PortSig { kind: Some(kind), required: true }
+}
+
+const fn opt_any() -> PortSig {
+    PortSig { kind: None, required: false }
+}
+
+const fn req_any() -> PortSig {
+    PortSig { kind: None, required: true }
+}
+
+impl NodeKind {
+    /// Input port signatures.
+    pub fn input_ports(&self) -> Vec<PortSig> {
+        use StreamKind::*;
+        match self {
+            NodeKind::Root => vec![],
+            NodeKind::LevelScanner { .. } => vec![req(Ref)],
+            NodeKind::Repeat => vec![req_any(), req(Crd)],
+            NodeKind::Intersect | NodeKind::Union | NodeKind::UnionLeft => {
+                vec![req(Crd), opt_any(), req(Crd), opt_any()]
+            }
+            NodeKind::Array { .. } => vec![req(Ref)],
+            NodeKind::Alu { op } => {
+                if op.arity() == 2 {
+                    vec![req(Val), req(Val)]
+                } else {
+                    vec![req(Val)]
+                }
+            }
+            NodeKind::Reduce { .. } => vec![req(Val)],
+            NodeKind::Spacc1 { .. } => vec![req(Crd), req(Val)],
+            NodeKind::CrdDrop => vec![req(Crd), req(Crd)],
+            NodeKind::CrdWriter { .. } => vec![req(Crd)],
+            NodeKind::ValWriter { .. } => vec![req(Val)],
+            NodeKind::Parallelizer { .. } => vec![req(Crd), opt_any()],
+            NodeKind::Serializer { factor, .. } => {
+                let mut v = vec![req_any(); *factor];
+                v.push(req(Crd));
+                v
+            }
+        }
+    }
+
+    /// Output port signatures.
+    pub fn output_ports(&self) -> Vec<PortSig> {
+        use StreamKind::*;
+        match self {
+            NodeKind::Root => vec![req(Ref)],
+            NodeKind::LevelScanner { .. } => vec![req(Crd), req(Ref)],
+            NodeKind::Repeat => vec![req_any()],
+            NodeKind::Intersect | NodeKind::Union | NodeKind::UnionLeft => {
+                vec![req(Crd), opt_any(), opt_any()]
+            }
+            NodeKind::Array { .. } => vec![req(Val)],
+            NodeKind::Alu { .. } => vec![req(Val)],
+            NodeKind::Reduce { .. } => vec![req(Val)],
+            NodeKind::Spacc1 { .. } => vec![req(Crd), req(Val)],
+            NodeKind::CrdDrop => vec![req(Crd), req(Crd)],
+            NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => vec![],
+            NodeKind::Parallelizer { factor } => {
+                let mut v = Vec::new();
+                for _ in 0..*factor {
+                    v.push(req(Crd));
+                    v.push(opt_any());
+                }
+                v
+            }
+            NodeKind::Serializer { .. } => vec![req_any()],
+        }
+    }
+
+    /// Short display name used in DOT output and error messages.
+    pub fn name(&self) -> String {
+        match self {
+            NodeKind::Root => "Root".into(),
+            NodeKind::LevelScanner { tensor, level } => format!("LS[t{tensor}.l{level}]"),
+            NodeKind::Repeat => "Repeat".into(),
+            NodeKind::Intersect => "Intersect".into(),
+            NodeKind::Union => "Union".into(),
+            NodeKind::UnionLeft => "UnionLeft".into(),
+            NodeKind::Array { tensor } => format!("Array[t{tensor}]"),
+            NodeKind::Alu { op } => format!("ALU[{op:?}]"),
+            NodeKind::Reduce { op } => format!("Reduce[{op:?}]"),
+            NodeKind::Spacc1 { op } => format!("Spacc1[{op:?}]"),
+            NodeKind::CrdDrop => "CrdDrop".into(),
+            NodeKind::CrdWriter { output, level } => format!("CrdWriter[o{output}.l{level}]"),
+            NodeKind::ValWriter { output } => format!("ValWriter[o{output}]"),
+            NodeKind::Parallelizer { factor } => format!("Par[{factor}]"),
+            NodeKind::Serializer { factor, depth } => format!("Ser[{factor},d{depth}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_arity() {
+        assert_eq!(AluOp::Add.arity(), 2);
+        assert_eq!(AluOp::Relu.arity(), 1);
+        assert_eq!(AluOp::Scale(2.0).arity(), 1);
+        assert_eq!(AluOp::BlockColDiv.arity(), 2);
+    }
+
+    #[test]
+    fn alu_scalar_semantics() {
+        assert_eq!(AluOp::Add.apply_scalar(2.0, 3.0), 5.0);
+        assert_eq!(AluOp::Relu.apply_scalar(-2.0, 0.0), 0.0);
+        assert_eq!(AluOp::Div.apply_scalar(0.0, 0.0), 0.0);
+        assert_eq!(AluOp::Scale(3.0).apply_scalar(2.0, 0.0), 6.0);
+        assert_eq!(AluOp::Max.apply_scalar(1.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Max.identity(), f32::MIN);
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn port_signatures() {
+        let ls = NodeKind::LevelScanner { tensor: 0, level: 0 };
+        assert_eq!(ls.input_ports().len(), 1);
+        assert_eq!(ls.output_ports().len(), 2);
+        let isect = NodeKind::Intersect;
+        assert_eq!(isect.input_ports().len(), 4);
+        assert!(!isect.input_ports()[1].required);
+        let par = NodeKind::Parallelizer { factor: 4 };
+        assert_eq!(par.output_ports().len(), 8);
+        let ser = NodeKind::Serializer { factor: 4, depth: 1 };
+        assert_eq!(ser.input_ports().len(), 5);
+    }
+}

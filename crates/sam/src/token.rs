@@ -1,0 +1,318 @@
+//! The SAM stream/token model.
+//!
+//! A SAMML stream is a linearization of one fibertree level (Section 2): a
+//! sequence of payload tokens punctuated by hierarchical stop tokens.
+//! `Stop(k)` closes the current fiber **plus `k` enclosing levels**; `Done`
+//! terminates the stream. Empty fibers contribute a bare stop token, so
+//! adjacent stops are legal and denote empty fibers (this reproduction's
+//! analogue of SAM's empty-fiber handling).
+
+use std::sync::Arc;
+
+/// A dense tile carried by blocked streams (Section 7, "Sparsity Blocking").
+///
+/// Tiles are immutable and reference-counted so fan-out and repetition are
+/// cheap, matching hardware streams that move block handles rather than
+/// copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    rows: u16,
+    cols: u16,
+    data: Arc<Vec<f32>>,
+}
+
+impl Block {
+    /// Creates a block of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or the block is empty.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "block must be non-empty");
+        assert_eq!(data.len(), rows * cols, "block data length mismatch");
+        Block { rows: rows as u16, cols: cols as u16, data: Arc::new(data) }
+    }
+
+    /// A zero block of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Block::new(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols as usize
+    }
+
+    /// Row-major elements.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols as usize + c]
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false; blocks are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Elementwise combination of two same-shaped blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Block, f: impl Fn(f32, f32) -> f32) -> Block {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "block shape mismatch");
+        Block::new(
+            self.rows(),
+            self.cols(),
+            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        )
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Block {
+        Block::new(self.rows(), self.cols(), self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Dense tile matmul: `(r x k) * (k x c) -> (r x c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Block) -> Block {
+        assert_eq!(self.cols, other.rows, "block matmul inner mismatch");
+        let (r, k, c) = (self.rows(), self.cols(), other.cols());
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for kk in 0..k {
+                let a = self.get(i, kk);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..c {
+                    out[i * c + j] += a * other.get(kk, j);
+                }
+            }
+        }
+        Block::new(r, c, out)
+    }
+
+    /// Row-wise reduction to an `(rows x 1)` column block.
+    pub fn row_reduce(&self, init: f32, f: impl Fn(f32, f32) -> f32) -> Block {
+        let data = (0..self.rows())
+            .map(|i| (0..self.cols()).fold(init, |acc, j| f(acc, self.get(i, j))))
+            .collect();
+        Block::new(self.rows(), 1, data)
+    }
+
+    /// Combines with a `(rows x 1)` column block broadcast across columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not a matching column block.
+    pub fn broadcast_col(&self, col: &Block, f: impl Fn(f32, f32) -> f32) -> Block {
+        assert_eq!(col.cols(), 1, "broadcast operand must be a column block");
+        assert_eq!(col.rows(), self.rows(), "broadcast row mismatch");
+        Block::new(
+            self.rows(),
+            self.cols(),
+            (0..self.len())
+                .map(|i| f(self.data[i], col.data[i / self.cols as usize]))
+                .collect(),
+        )
+    }
+}
+
+/// The payload of a data token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A coordinate or reference (position) index.
+    Idx(u32),
+    /// A scalar value.
+    F(f32),
+    /// A dense tile (block-sparse streams).
+    Blk(Block),
+    /// The "no element here" payload emitted by [`Union`] for coordinates
+    /// present on only one side; arrays turn it into a zero value.
+    ///
+    /// [`Union`]: crate::NodeKind::Union
+    Empty,
+}
+
+impl Payload {
+    /// Interprets the payload as an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not an index.
+    pub fn idx(&self) -> u32 {
+        match self {
+            Payload::Idx(i) => *i,
+            other => panic!("expected index payload, found {other:?}"),
+        }
+    }
+
+    /// Interprets the payload as a scalar (Empty reads as 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is a block or an index.
+    pub fn f(&self) -> f32 {
+        match self {
+            Payload::F(v) => *v,
+            Payload::Empty => 0.0,
+            other => panic!("expected value payload, found {other:?}"),
+        }
+    }
+}
+
+/// One token of a SAMML stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A data element.
+    Elem(Payload),
+    /// End of the current fiber plus `k` enclosing fibers.
+    Stop(u8),
+    /// End of stream.
+    Done,
+}
+
+impl Token {
+    /// Convenience constructor for index elements.
+    pub fn idx(i: u32) -> Token {
+        Token::Elem(Payload::Idx(i))
+    }
+
+    /// Convenience constructor for value elements.
+    pub fn val(v: f32) -> Token {
+        Token::Elem(Payload::F(v))
+    }
+
+    /// `true` for [`Token::Elem`].
+    pub fn is_elem(&self) -> bool {
+        matches!(self, Token::Elem(_))
+    }
+
+    /// The stop level if this is a stop token.
+    pub fn stop_level(&self) -> Option<u8> {
+        match self {
+            Token::Stop(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// The kind of data a stream carries, used for graph validation and
+/// visualization (solid/dashed/double arrows in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Coordinate stream.
+    Crd,
+    /// Reference (position) stream.
+    Ref,
+    /// Value stream.
+    Val,
+}
+
+impl std::fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamKind::Crd => write!(f, "crd"),
+            StreamKind::Ref => write!(f, "ref"),
+            StreamKind::Val => write!(f, "val"),
+        }
+    }
+}
+
+/// Parses a token stream into flat `(prefix-depth events)` COO form given
+/// companion streams; see `fuseflow-sim` for the full reconstruction.
+///
+/// Checks the well-formedness invariant used across the test suite: a
+/// stream must end with `Done`, contain no tokens after it, and stop levels
+/// must not exceed `max_level`.
+pub fn check_well_formed(tokens: &[Token], max_level: u8) -> Result<(), String> {
+    if tokens.is_empty() {
+        return Err("empty stream".into());
+    }
+    match tokens.last() {
+        Some(Token::Done) => {}
+        other => return Err(format!("stream must end with Done, found {other:?}")),
+    }
+    for (i, t) in tokens[..tokens.len() - 1].iter().enumerate() {
+        match t {
+            Token::Done => return Err(format!("interior Done at {i}")),
+            Token::Stop(k) if *k > max_level => {
+                return Err(format!("stop level {k} exceeds max {max_level} at {i}"))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_matmul_small() {
+        let a = Block::new(2, 2, vec![1., 2., 3., 4.]);
+        let b = Block::new(2, 2, vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn block_row_reduce_and_broadcast() {
+        let a = Block::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let s = a.row_reduce(0.0, |x, y| x + y);
+        assert_eq!(s.data(), &[6., 15.]);
+        let d = a.broadcast_col(&s, |x, y| x / y);
+        assert!((d.get(0, 2) - 0.5).abs() < 1e-6);
+        assert!((d.get(1, 0) - 4. / 15.).abs() < 1e-6);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::Idx(3).idx(), 3);
+        assert_eq!(Payload::F(2.5).f(), 2.5);
+        assert_eq!(Payload::Empty.f(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected index payload")]
+    fn payload_idx_on_value_panics() {
+        let _ = Payload::F(1.0).idx();
+    }
+
+    #[test]
+    fn well_formedness() {
+        let good = vec![Token::idx(0), Token::Stop(0), Token::Done];
+        assert!(check_well_formed(&good, 1).is_ok());
+        let no_done = vec![Token::idx(0)];
+        assert!(check_well_formed(&no_done, 1).is_err());
+        let interior = vec![Token::Done, Token::Done];
+        assert!(check_well_formed(&interior, 1).is_err());
+        let deep = vec![Token::Stop(5), Token::Done];
+        assert!(check_well_formed(&deep, 1).is_err());
+    }
+
+    #[test]
+    fn adjacent_stops_are_legal_empty_fibers() {
+        let s = vec![Token::idx(1), Token::Stop(0), Token::Stop(0), Token::idx(2), Token::Stop(1), Token::Done];
+        assert!(check_well_formed(&s, 1).is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! Ramulator-lite: a bandwidth/latency DRAM model.
+//!
+//! The paper's Comal simulator embeds Ramulator 2.0 for HBM2 timing. For
+//! this reproduction the evaluation only depends on DRAM as a
+//! traffic-and-latency cost for tensors that materialize off-chip, so we
+//! model a single HBM-like channel with:
+//!
+//! * a sustained **bandwidth** in bytes/cycle shared by all requesters,
+//! * a **streaming latency** for sequential accesses (scanners, writers,
+//!   which a real memory engine prefetches/coalesces), and
+//! * a **random-access latency** for value gathers (row-buffer miss-ish).
+//!
+//! Requests are granted in arrival order; the model returns the cycle at
+//! which the data is available. Substitution rationale: `DESIGN.md` §4.
+
+/// Access pattern class of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Sequential/prefetchable (pos/crd scans, result writes).
+    Stream,
+    /// Data-dependent gather (value array reads through references).
+    Random,
+}
+
+/// A single-channel DRAM model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    bytes_per_cycle: f64,
+    stream_latency: u64,
+    random_latency: u64,
+    busy_until: f64,
+    read_bytes: u64,
+    write_bytes: u64,
+    requests: u64,
+}
+
+impl Dram {
+    /// Creates a model with the given sustained bandwidth and latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, stream_latency: u64, random_latency: u64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Dram {
+            bytes_per_cycle,
+            stream_latency,
+            random_latency,
+            busy_until: 0.0,
+            read_bytes: 0,
+            write_bytes: 0,
+            requests: 0,
+        }
+    }
+
+    /// Issues a request of `bytes` at cycle `now`; returns the cycle at
+    /// which it completes (bandwidth serialization plus latency).
+    pub fn request(&mut self, now: u64, bytes: u64, kind: AccessKind, is_write: bool) -> u64 {
+        self.requests += 1;
+        if is_write {
+            self.write_bytes += bytes;
+        } else {
+            self.read_bytes += bytes;
+        }
+        let start = self.busy_until.max(now as f64);
+        self.busy_until = start + bytes as f64 / self.bytes_per_cycle;
+        let latency = match kind {
+            AccessKind::Stream => self.stream_latency,
+            AccessKind::Random => self.random_latency,
+        };
+        self.busy_until.ceil() as u64 + latency
+    }
+
+    /// Total bytes read so far.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Total bytes written so far.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_serializes_requests() {
+        let mut d = Dram::new(4.0, 0, 0);
+        // 16 bytes at 4 B/cycle = 4 cycles of occupancy each.
+        let r1 = d.request(0, 16, AccessKind::Stream, false);
+        let r2 = d.request(0, 16, AccessKind::Stream, false);
+        assert_eq!(r1, 4);
+        assert_eq!(r2, 8);
+    }
+
+    #[test]
+    fn latency_added_per_kind() {
+        let mut d = Dram::new(1000.0, 5, 50);
+        let s = d.request(0, 4, AccessKind::Stream, false);
+        let r = d.request(0, 4, AccessKind::Random, false);
+        assert!(s >= 5 && s < 10, "stream ready {s}");
+        assert!(r >= 50 && r < 60, "random ready {r}");
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate() {
+        let mut d = Dram::new(4.0, 0, 0);
+        let _ = d.request(0, 4, AccessKind::Stream, false);
+        // After a long idle gap the channel restarts from `now`.
+        let r = d.request(1000, 4, AccessKind::Stream, false);
+        assert_eq!(r, 1001);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut d = Dram::new(8.0, 0, 0);
+        d.request(0, 12, AccessKind::Stream, false);
+        d.request(0, 20, AccessKind::Stream, true);
+        assert_eq!(d.read_bytes(), 12);
+        assert_eq!(d.write_bytes(), 20);
+        assert_eq!(d.requests(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Comal-style cycle-level simulator for SAMML dataflow graphs.
+//!
+//! This crate executes the streaming dataflow graphs produced by the
+//! FuseFlow compiler: each SAMML primitive runs as a state machine over
+//! bounded token channels (a deterministic, single-threaded realization of
+//! the DAM process-network model the paper's Comal simulator builds on),
+//! with a shared ramulator-lite DRAM model supplying bandwidth/latency
+//! costs and full instrumentation (cycles, FLOPs, bytes).
+//!
+//! Two timing backends implement the paper's §8.2 validation methodology:
+//! [`TimingConfig::comal`] (HBM-class, fully pipelined) and
+//! [`TimingConfig::fpga_rtl`] (BRAM-resident, deeper IIs).
+//!
+//! # Example
+//!
+//! Simulating a compiled graph (see `fuseflow-core` for the compiler):
+//!
+//! ```no_run
+//! use fuseflow_sim::{simulate, SimConfig, TensorEnv};
+//! # let graph = fuseflow_sam::SamGraph::new();
+//! let env = TensorEnv::new();
+//! let result = simulate(&graph, &env, &SimConfig::default())?;
+//! println!("{}", result.stats);
+//! # Ok::<(), fuseflow_sim::SimError>(())
+//! ```
+
+mod backend;
+mod dram;
+mod engine;
+mod rebuild;
+mod stats;
+
+pub use backend::TimingConfig;
+pub use dram::{AccessKind, Dram};
+pub use engine::{run_node_standalone, simulate, SimConfig, SimError, SimResult, TensorEnv};
+pub use rebuild::{assemble_output, streams_to_entries};
+pub use stats::Stats;

@@ -1,0 +1,92 @@
+//! Simulation instrumentation.
+
+use std::collections::HashMap;
+
+/// Counters collected while simulating one SAMML graph (the paper's
+/// "instrumentation to estimate operations and memory accesses", §8.1),
+/// feeding Figures 12-18 and Tables 3-4.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Floating-point operations performed by ALUs and reducers.
+    pub flops: u64,
+    /// Data tokens processed, per node label.
+    pub node_tokens: HashMap<String, u64>,
+}
+
+impl Stats {
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Operational intensity in FLOPs per DRAM byte (Fig 14's dashed
+    /// lines); `f64::INFINITY` when no DRAM traffic occurred.
+    pub fn operational_intensity(&self) -> f64 {
+        let bytes = self.dram_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+
+    /// Accumulates another run's counters (sequential multi-kernel
+    /// execution of unfused configurations).
+    pub fn accumulate(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.flops += other.flops;
+        for (k, v) in &other.node_tokens {
+            *self.node_tokens.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycles={} flops={} dram_rd={}B dram_wr={}B oi={:.3}",
+            self.cycles,
+            self.flops,
+            self.dram_read_bytes,
+            self.dram_write_bytes,
+            self.operational_intensity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = Stats { cycles: 10, dram_read_bytes: 100, dram_write_bytes: 50, flops: 7, ..Default::default() };
+        a.node_tokens.insert("x".into(), 3);
+        let mut b = Stats { cycles: 5, dram_read_bytes: 1, dram_write_bytes: 2, flops: 3, ..Default::default() };
+        b.node_tokens.insert("x".into(), 4);
+        b.node_tokens.insert("y".into(), 1);
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.dram_bytes(), 153);
+        assert_eq!(a.flops, 10);
+        assert_eq!(a.node_tokens["x"], 7);
+        assert_eq!(a.node_tokens["y"], 1);
+    }
+
+    #[test]
+    fn operational_intensity() {
+        let s = Stats { flops: 100, dram_read_bytes: 40, dram_write_bytes: 10, ..Default::default() };
+        assert!((s.operational_intensity() - 2.0).abs() < 1e-12);
+        let none = Stats::default();
+        assert!(none.operational_intensity().is_infinite());
+    }
+}

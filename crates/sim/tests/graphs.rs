@@ -1,0 +1,350 @@
+//! End-to-end simulations of hand-built SAMML graphs, verified against the
+//! dense reference interpreter. These graphs mirror the paper's figures:
+//! SpMV (Fig 2), Gustavson SpMM with a higher-order sparse accumulator
+//! (Fig 9d), elementwise addition through unions, and a data-parallel SpMM
+//! (Section 7, Parallelization).
+
+use fuseflow_sam::{AluOp, MemLocation, NodeId, NodeKind, ReduceOp, SamGraph};
+use fuseflow_sim::{simulate, SimConfig, TensorEnv};
+use fuseflow_tensor::{gen, reference, DenseTensor, Format, SparseTensor};
+
+fn env2(a: (&str, SparseTensor), b: (&str, SparseTensor)) -> TensorEnv {
+    let mut env = TensorEnv::new();
+    env.insert(a.0, a.1);
+    env.insert(b.0, b.1);
+    env
+}
+
+/// SpMV `T_i = B_ij * C_j` with `i -> j` dataflow, B in CSR, C dense.
+fn build_spmv(g: &mut SamGraph) {
+    let b = g.add_tensor("B", MemLocation::Dram);
+    let c = g.add_tensor("C", MemLocation::Dram);
+    let out = g.add_output("T", vec![4], Format::sparse_vec(), MemLocation::Dram);
+
+    let root_b = g.add_node(NodeKind::Root);
+    let root_c = g.add_node(NodeKind::Root);
+    let bi = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+    let rep_c = g.add_node(NodeKind::Repeat);
+    let bj = g.add_node(NodeKind::LevelScanner { tensor: b, level: 1 });
+    let cj = g.add_node(NodeKind::LevelScanner { tensor: c, level: 0 });
+    let isect = g.add_node(NodeKind::Intersect);
+    let b_vals = g.add_node(NodeKind::Array { tensor: b });
+    let c_vals = g.add_node(NodeKind::Array { tensor: c });
+    let mul = g.add_node(NodeKind::Alu { op: AluOp::Mul });
+    let red = g.add_node(NodeKind::Reduce { op: ReduceOp::Sum });
+    let wc = g.add_node(NodeKind::CrdWriter { output: out, level: 0 });
+    let wv = g.add_node(NodeKind::ValWriter { output: out });
+
+    g.connect(root_b, 0, bi, 0);
+    g.connect(root_c, 0, rep_c, 0); // base: C root
+    g.connect(bi, 0, rep_c, 1); // rep signal: i coords
+    g.connect(bi, 0, wc, 0); // output i coordinates
+    g.connect(bi, 1, bj, 0);
+    g.connect(rep_c, 0, cj, 0);
+    g.connect(bj, 0, isect, 0);
+    g.connect(bj, 1, isect, 1);
+    g.connect(cj, 0, isect, 2);
+    g.connect(cj, 1, isect, 3);
+    g.connect(isect, 1, b_vals, 0);
+    g.connect(isect, 2, c_vals, 0);
+    g.connect(b_vals, 0, mul, 0);
+    g.connect(c_vals, 0, mul, 1);
+    g.connect(mul, 0, red, 0);
+    g.connect(red, 0, wv, 0);
+}
+
+#[test]
+fn spmv_matches_reference() {
+    let b_dense = DenseTensor::from_vec(
+        vec![4, 4],
+        vec![
+            1., 0., 2., 0., //
+            0., 0., 0., 0., //
+            0., 3., 0., 4., //
+            5., 0., 0., 6.,
+        ],
+    );
+    let c_dense = DenseTensor::from_vec(vec![4], vec![1., 2., 3., 4.]);
+    let mut g = SamGraph::new();
+    build_spmv(&mut g);
+    let env = env2(
+        ("B", SparseTensor::from_dense(&b_dense, &Format::csr())),
+        ("C", SparseTensor::from_dense(&c_dense, &Format::dense_vec())),
+    );
+    let res = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let got = res.outputs["T"].to_dense();
+    // Reference: matrix-vector product.
+    let expect = DenseTensor::from_fn(vec![4], |ix| {
+        (0..4).map(|j| b_dense.get(&[ix[0], j]) * c_dense.get(&[j])).sum()
+    });
+    assert!(got.approx_eq(&expect), "got {:?} expect {:?}", got.data(), expect.data());
+    assert!(res.stats.cycles > 0);
+    assert!(res.stats.flops > 0);
+    assert!(res.stats.dram_read_bytes > 0);
+}
+
+/// Gustavson SpMM `T_ij = sum_k A_ik * X_kj` with `i -> k -> j` dataflow
+/// (Fig 9d): A CSR, X CSR, higher-order reduction via Spacc1.
+fn build_spmm(g: &mut SamGraph, m: usize, n: usize) -> (NodeId, NodeId) {
+    let a = g.add_tensor("A", MemLocation::Dram);
+    let x = g.add_tensor("X", MemLocation::Dram);
+    let out = g.add_output("T", vec![m, n], Format::csr(), MemLocation::Dram);
+
+    let root_a = g.add_node(NodeKind::Root);
+    let root_x = g.add_node(NodeKind::Root);
+    let ai = g.add_node(NodeKind::LevelScanner { tensor: a, level: 0 });
+    let rep_x = g.add_node(NodeKind::Repeat);
+    let ak = g.add_node(NodeKind::LevelScanner { tensor: a, level: 1 });
+    let xk = g.add_node(NodeKind::LevelScanner { tensor: x, level: 0 });
+    let isect_k = g.add_node(NodeKind::Intersect);
+    let a_vals = g.add_node(NodeKind::Array { tensor: a });
+    let xj = g.add_node(NodeKind::LevelScanner { tensor: x, level: 1 });
+    let rep_a = g.add_node(NodeKind::Repeat);
+    let x_vals = g.add_node(NodeKind::Array { tensor: x });
+    let mul = g.add_node(NodeKind::Alu { op: AluOp::Mul });
+    let spacc = g.add_node(NodeKind::Spacc1 { op: ReduceOp::Sum });
+    let wc0 = g.add_node(NodeKind::CrdWriter { output: out, level: 0 });
+    let wc1 = g.add_node(NodeKind::CrdWriter { output: out, level: 1 });
+    let wv = g.add_node(NodeKind::ValWriter { output: out });
+
+    g.connect(root_a, 0, ai, 0);
+    g.connect(root_x, 0, rep_x, 0);
+    g.connect(ai, 0, rep_x, 1); // X root repeated per i
+    g.connect(ai, 0, wc0, 0);
+    g.connect(ai, 1, ak, 0);
+    g.connect(rep_x, 0, xk, 0);
+    g.connect(ak, 0, isect_k, 0);
+    g.connect(ak, 1, isect_k, 1);
+    g.connect(xk, 0, isect_k, 2);
+    g.connect(xk, 1, isect_k, 3);
+    g.connect(isect_k, 1, a_vals, 0);
+    g.connect(isect_k, 2, xj, 0);
+    g.connect(a_vals, 0, rep_a, 0); // A value repeated per j
+    g.connect(xj, 0, rep_a, 1);
+    g.connect(xj, 1, x_vals, 0);
+    g.connect(rep_a, 0, mul, 0);
+    g.connect(x_vals, 0, mul, 1);
+    g.connect(xj, 0, spacc, 0);
+    g.connect(mul, 0, spacc, 1);
+    g.connect(spacc, 0, wc1, 0);
+    g.connect(spacc, 1, wv, 0);
+    (ai, spacc)
+}
+
+#[test]
+fn spmm_matches_reference() {
+    let a_dense = DenseTensor::from_vec(
+        vec![3, 4],
+        vec![
+            1., 0., 2., 0., //
+            0., 0., 0., 0., //
+            0., 3., 0., 4.,
+        ],
+    );
+    let x_dense = DenseTensor::from_vec(
+        vec![4, 3],
+        vec![
+            1., 0., 2., //
+            0., 3., 0., //
+            4., 0., 0., //
+            0., 5., 6.,
+        ],
+    );
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 3, 3);
+    let env = env2(
+        ("A", SparseTensor::from_dense(&a_dense, &Format::csr())),
+        ("X", SparseTensor::from_dense(&x_dense, &Format::csr())),
+    );
+    let res = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let got = res.outputs["T"].to_dense();
+    let expect = reference::matmul(&a_dense, &x_dense);
+    assert!(got.approx_eq(&expect), "got {:?} expect {:?}", got.data(), expect.data());
+}
+
+#[test]
+fn spmm_random_matrices_match_reference() {
+    let a = gen::adjacency(24, 0.12, gen::GraphPattern::Uniform, 42, &Format::csr());
+    let x = gen::sparse_features(24, 16, 0.3, 7, &Format::csr());
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 24, 16);
+    let expect = reference::matmul(&a.to_dense(), &x.to_dense());
+    let env = env2(("A", a), ("X", x));
+    let res = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let got = res.outputs["T"].to_dense();
+    assert!(got.approx_eq(&expect), "max diff {}", got.max_abs_diff(&expect));
+}
+
+/// Elementwise matrix addition `E = A + B` through a two-level union.
+fn build_add(g: &mut SamGraph, m: usize, n: usize) {
+    let a = g.add_tensor("A", MemLocation::Dram);
+    let b = g.add_tensor("B", MemLocation::Dram);
+    let out = g.add_output("E", vec![m, n], Format::dcsr(), MemLocation::Dram);
+
+    let root = g.add_node(NodeKind::Root);
+    let ai = g.add_node(NodeKind::LevelScanner { tensor: a, level: 0 });
+    let bi = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+    let u_i = g.add_node(NodeKind::Union);
+    let aj = g.add_node(NodeKind::LevelScanner { tensor: a, level: 1 });
+    let bj = g.add_node(NodeKind::LevelScanner { tensor: b, level: 1 });
+    let u_j = g.add_node(NodeKind::Union);
+    let a_vals = g.add_node(NodeKind::Array { tensor: a });
+    let b_vals = g.add_node(NodeKind::Array { tensor: b });
+    let add = g.add_node(NodeKind::Alu { op: AluOp::Add });
+    let wc0 = g.add_node(NodeKind::CrdWriter { output: out, level: 0 });
+    let wc1 = g.add_node(NodeKind::CrdWriter { output: out, level: 1 });
+    let wv = g.add_node(NodeKind::ValWriter { output: out });
+
+    g.connect(root, 0, ai, 0);
+    g.connect(root, 0, bi, 0);
+    g.connect(ai, 0, u_i, 0);
+    g.connect(ai, 1, u_i, 1);
+    g.connect(bi, 0, u_i, 2);
+    g.connect(bi, 1, u_i, 3);
+    g.connect(u_i, 0, wc0, 0);
+    g.connect(u_i, 1, aj, 0);
+    g.connect(u_i, 2, bj, 0);
+    g.connect(aj, 0, u_j, 0);
+    g.connect(aj, 1, u_j, 1);
+    g.connect(bj, 0, u_j, 2);
+    g.connect(bj, 1, u_j, 3);
+    g.connect(u_j, 0, wc1, 0);
+    g.connect(u_j, 1, a_vals, 0);
+    g.connect(u_j, 2, b_vals, 0);
+    g.connect(a_vals, 0, add, 0);
+    g.connect(b_vals, 0, add, 1);
+    g.connect(add, 0, wv, 0);
+}
+
+#[test]
+fn elementwise_add_matches_reference() {
+    let a = gen::sparse_features(12, 9, 0.25, 3, &Format::dcsr());
+    let b = gen::sparse_features(12, 9, 0.25, 4, &Format::dcsr());
+    let mut g = SamGraph::new();
+    build_add(&mut g, 12, 9);
+    let expect = reference::add(&a.to_dense(), &b.to_dense());
+    let env = env2(("A", a), ("B", b));
+    let res = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let got = res.outputs["E"].to_dense();
+    assert!(got.approx_eq(&expect), "max diff {}", got.max_abs_diff(&expect));
+}
+
+/// Row-parallel SpMM: split the `i` level across `factor` copies of the
+/// downstream pipeline, merging results with order-driven serializers.
+fn build_parallel_spmm(g: &mut SamGraph, m: usize, n: usize, factor: usize) {
+    let a = g.add_tensor("A", MemLocation::Dram);
+    let x = g.add_tensor("X", MemLocation::Dram);
+    let out = g.add_output("T", vec![m, n], Format::csr(), MemLocation::Dram);
+
+    let root_a = g.add_node(NodeKind::Root);
+    let ai = g.add_node(NodeKind::LevelScanner { tensor: a, level: 0 });
+    let par = g.add_node(NodeKind::Parallelizer { factor });
+    let ser_crd = g.add_node(NodeKind::Serializer { factor, depth: 1 });
+    let ser_val = g.add_node(NodeKind::Serializer { factor, depth: 1 });
+    let wc0 = g.add_node(NodeKind::CrdWriter { output: out, level: 0 });
+    let wc1 = g.add_node(NodeKind::CrdWriter { output: out, level: 1 });
+    let wv = g.add_node(NodeKind::ValWriter { output: out });
+
+    g.connect(root_a, 0, ai, 0);
+    g.connect(ai, 0, par, 0);
+    g.connect(ai, 1, par, 1);
+    g.connect(ai, 0, wc0, 0);
+    g.connect(ai, 0, ser_crd, factor); // order streams
+    g.connect(ai, 0, ser_val, factor);
+
+    for b in 0..factor {
+        let root_x = g.add_node(NodeKind::Root);
+        let rep_x = g.add_node(NodeKind::Repeat);
+        let ak = g.add_node(NodeKind::LevelScanner { tensor: a, level: 1 });
+        let xk = g.add_node(NodeKind::LevelScanner { tensor: x, level: 0 });
+        let isect_k = g.add_node(NodeKind::Intersect);
+        let a_vals = g.add_node(NodeKind::Array { tensor: a });
+        let xj = g.add_node(NodeKind::LevelScanner { tensor: x, level: 1 });
+        let rep_a = g.add_node(NodeKind::Repeat);
+        let x_vals = g.add_node(NodeKind::Array { tensor: x });
+        let mul = g.add_node(NodeKind::Alu { op: AluOp::Mul });
+        let spacc = g.add_node(NodeKind::Spacc1 { op: ReduceOp::Sum });
+
+        g.connect(par, 2 * b, rep_x, 1); // branch i coords drive X repetition
+        g.connect(root_x, 0, rep_x, 0);
+        g.connect(par, 2 * b + 1, ak, 0); // branch i refs scan A's k level
+        g.connect(rep_x, 0, xk, 0);
+        g.connect(ak, 0, isect_k, 0);
+        g.connect(ak, 1, isect_k, 1);
+        g.connect(xk, 0, isect_k, 2);
+        g.connect(xk, 1, isect_k, 3);
+        g.connect(isect_k, 1, a_vals, 0);
+        g.connect(isect_k, 2, xj, 0);
+        g.connect(a_vals, 0, rep_a, 0);
+        g.connect(xj, 0, rep_a, 1);
+        g.connect(xj, 1, x_vals, 0);
+        g.connect(rep_a, 0, mul, 0);
+        g.connect(x_vals, 0, mul, 1);
+        g.connect(xj, 0, spacc, 0);
+        g.connect(mul, 0, spacc, 1);
+        g.connect(spacc, 0, ser_crd, b);
+        g.connect(spacc, 1, ser_val, b);
+    }
+    g.connect(ser_crd, 0, wc1, 0);
+    g.connect(ser_val, 0, wv, 0);
+}
+
+#[test]
+fn parallel_spmm_matches_serial() {
+    let a = gen::adjacency(20, 0.15, gen::GraphPattern::Uniform, 5, &Format::csr());
+    let x = gen::sparse_features(20, 12, 0.4, 9, &Format::csr());
+    let expect = reference::matmul(&a.to_dense(), &x.to_dense());
+
+    let mut serial_cycles = 0;
+    for factor in [1usize, 2, 4] {
+        let mut g = SamGraph::new();
+        build_parallel_spmm(&mut g, 20, 12, factor);
+        let env = env2(("A", a.clone()), ("X", x.clone()));
+        let res = simulate(&g, &env, &SimConfig::default()).unwrap();
+        let got = res.outputs["T"].to_dense();
+        assert!(
+            got.approx_eq(&expect),
+            "factor {factor}: max diff {}",
+            got.max_abs_diff(&expect)
+        );
+        if factor == 1 {
+            serial_cycles = res.stats.cycles;
+        } else {
+            assert!(
+                res.stats.cycles < serial_cycles,
+                "factor {factor} ({} cycles) should beat serial ({serial_cycles})",
+                res.stats.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn fpga_backend_runs_and_differs() {
+    let a = gen::adjacency(16, 0.2, gen::GraphPattern::Uniform, 11, &Format::csr());
+    let x = gen::sparse_features(16, 8, 0.5, 12, &Format::csr());
+    let expect = reference::matmul(&a.to_dense(), &x.to_dense());
+
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 16, 8);
+    let env = env2(("A", a), ("X", x));
+
+    let comal = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let fpga_cfg = SimConfig {
+        timing: fuseflow_sim::TimingConfig::fpga_rtl(),
+        ..SimConfig::default()
+    };
+    let fpga = simulate(&g, &env, &fpga_cfg).unwrap();
+    assert!(comal.outputs["T"].to_dense().approx_eq(&expect));
+    assert!(fpga.outputs["T"].to_dense().approx_eq(&expect));
+    assert_ne!(comal.stats.cycles, fpga.stats.cycles, "backends should time differently");
+}
+
+#[test]
+fn missing_tensor_is_reported() {
+    let mut g = SamGraph::new();
+    build_spmv(&mut g);
+    let env = TensorEnv::new();
+    let err = simulate(&g, &env, &SimConfig::default()).unwrap_err();
+    assert!(matches!(err, fuseflow_sim::SimError::MissingTensor(_)));
+}

@@ -1,0 +1,143 @@
+//! Per-level storage formats in the TACO data-structure language.
+
+/// Storage format of a single tensor level (dimension).
+///
+/// FuseFlow (Section 4.1) supports tensors whose per-level structure is
+/// either uncompressed/dense or compressed; combinations across levels give
+/// dense arrays, CSR, DCSR, CSF, blocked structures, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelFormat {
+    /// Uncompressed level: all `size` coordinates are materialized.
+    Dense,
+    /// Compressed level: only nonempty coordinates are stored (pos/crd).
+    Compressed,
+}
+
+impl std::fmt::Display for LevelFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevelFormat::Dense => write!(f, "d"),
+            LevelFormat::Compressed => write!(f, "c"),
+        }
+    }
+}
+
+/// A whole-tensor format: one [`LevelFormat`] per level, in storage (mode)
+/// order.
+///
+/// The mode order of a sparse tensor constrains concordant traversal
+/// (Section 5): level `k` must be iterated before level `k + 1`.
+///
+/// # Example
+///
+/// ```
+/// use fuseflow_tensor::{Format, LevelFormat};
+/// let csr = Format::csr();
+/// assert_eq!(csr.levels(), &[LevelFormat::Dense, LevelFormat::Compressed]);
+/// assert!(csr.has_compressed());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Format {
+    levels: Vec<LevelFormat>,
+}
+
+impl Format {
+    /// Builds a format from explicit per-level formats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<LevelFormat>) -> Self {
+        assert!(!levels.is_empty(), "format must have at least one level");
+        Format { levels }
+    }
+
+    /// All-dense format of the given order (a plain dense array).
+    pub fn dense(order: usize) -> Self {
+        Format::new(vec![LevelFormat::Dense; order])
+    }
+
+    /// All-compressed format of the given order (CSF; DCSR for order 2).
+    pub fn csf(order: usize) -> Self {
+        Format::new(vec![LevelFormat::Compressed; order])
+    }
+
+    /// Compressed sparse row: dense rows, compressed columns.
+    pub fn csr() -> Self {
+        Format::new(vec![LevelFormat::Dense, LevelFormat::Compressed])
+    }
+
+    /// Doubly compressed sparse row.
+    pub fn dcsr() -> Self {
+        Format::csf(2)
+    }
+
+    /// Dense vector format.
+    pub fn dense_vec() -> Self {
+        Format::dense(1)
+    }
+
+    /// Compressed (sparse) vector format.
+    pub fn sparse_vec() -> Self {
+        Format::csf(1)
+    }
+
+    /// The per-level formats in mode order.
+    pub fn levels(&self) -> &[LevelFormat] {
+        &self.levels
+    }
+
+    /// Number of levels (tensor order).
+    pub fn order(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Format of level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= order()`.
+    pub fn level(&self, i: usize) -> LevelFormat {
+        self.levels[i]
+    }
+
+    /// `true` if any level is compressed (the tensor is sparse).
+    pub fn has_compressed(&self) -> bool {
+        self.levels.contains(&LevelFormat::Compressed)
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for l in &self.levels {
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(Format::csr().to_string(), "dc");
+        assert_eq!(Format::dcsr().to_string(), "cc");
+        assert_eq!(Format::dense(3).to_string(), "ddd");
+        assert_eq!(Format::csf(3).to_string(), "ccc");
+    }
+
+    #[test]
+    fn has_compressed_detection() {
+        assert!(!Format::dense(2).has_compressed());
+        assert!(Format::csr().has_compressed());
+        assert!(Format::sparse_vec().has_compressed());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_format_panics() {
+        let _ = Format::new(vec![]);
+    }
+}

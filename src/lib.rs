@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the FuseFlow workspace API.
+//!
+//! See [`fuseflow_core`] for the compiler, [`fuseflow_sim`] for the
+//! streaming-dataflow simulator, [`fuseflow_models`] for the evaluated
+//! model zoo, and [`fuseflow_tensor`] for the sparse-tensor substrate.
+pub use fuseflow_core as core;
+pub use fuseflow_models as models;
+pub use fuseflow_sam as sam;
+pub use fuseflow_sim as sim;
+pub use fuseflow_tensor as tensor;

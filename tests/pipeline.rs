@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: compile Einsum programs under every
+//! schedule and verify simulated results against the structural reference
+//! interpreter.
+
+use fuseflow::core::ir::{OpKind, Program, ReduceOp};
+use fuseflow::core::pipeline::{compile, compile_run_verify, run, verify};
+use fuseflow::core::schedule::Schedule;
+use fuseflow::sim::SimConfig;
+use fuseflow::tensor::{gen, Format, SparseTensor};
+use fuseflow_sam::AluOp;
+use std::collections::HashMap;
+
+type Inputs = HashMap<String, SparseTensor>;
+
+fn gcn_layerish(n: usize, f: usize, h: usize) -> (Program, Inputs) {
+    // T0 = A X ; T1 = relu(T0 W + b)
+    let mut p = Program::new();
+    let (i, k, u, j) = (p.index("i"), p.index("k"), p.index("u"), p.index("j"));
+    let a = p.input("A", vec![n, n], Format::csr());
+    let x = p.input("X", vec![n, f], Format::csr());
+    let w = p.input("W", vec![f, h], Format::dense(2));
+    let b = p.input("b", vec![h], Format::dense_vec());
+    let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
+    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    let t2 = p.binary("T2", OpKind::Add, (t1, vec![i, j]), (b, vec![j]), vec![i, j], Format::csr());
+    let out = p.map("Out", AluOp::Relu, (t2, vec![i, j]), Format::csr());
+    p.mark_output(out);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("A".into(), gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 10, &Format::csr()));
+    inputs.insert("X".into(), gen::sparse_features(n, f, 0.4, 11, &Format::csr()));
+    inputs.insert("W".into(), SparseTensor::from_dense(&gen::dense_features(f, h, 12), &Format::dense(2)));
+    inputs.insert("b".into(), SparseTensor::from_dense(&gen::dense_features(1, h, 13).reshape(vec![h]), &Format::dense_vec()));
+    (p, inputs)
+}
+
+#[test]
+fn gcn_layer_unfused_matches_reference() {
+    let (p, inputs) = gcn_layerish(20, 12, 6);
+    let r = compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
+    assert!(r.stats.cycles > 0);
+    assert_eq!(r.per_region.len(), 4);
+}
+
+#[test]
+fn gcn_layer_fully_fused_matches_reference_and_cuts_traffic() {
+    let (p, inputs) = gcn_layerish(20, 12, 6);
+    let unfused = compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
+    let fused = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    assert!(
+        fused.stats.dram_bytes() < unfused.stats.dram_bytes(),
+        "fusion must remove intermediate DRAM traffic ({} vs {})",
+        fused.stats.dram_bytes(),
+        unfused.stats.dram_bytes()
+    );
+    assert!(
+        fused.stats.cycles < unfused.stats.cycles,
+        "single-layer fusion should win ({} vs {})",
+        fused.stats.cycles,
+        unfused.stats.cycles
+    );
+}
+
+#[test]
+fn gcn_layer_partial_regions_match_reference() {
+    let (p, inputs) = gcn_layerish(16, 10, 5);
+    // Fuse the two matmuls; bias and relu stay separate.
+    let r = compile_run_verify(&p, &Schedule::regions(vec![0..2]), &inputs, &SimConfig::default()).unwrap();
+    assert_eq!(r.per_region.len(), 3);
+}
+
+#[test]
+fn two_layer_full_fusion_recomputes_but_stays_correct() {
+    // Nested A (A X W) pattern: full fusion nests layer 1 under layer 2's
+    // row loop (recomputation), which must stay functionally correct.
+    let n = 12;
+    let mut p = Program::new();
+    let (i, k, u, k2, j) =
+        (p.index("i"), p.index("k"), p.index("u"), p.index("k2"), p.index("j"));
+    let a = p.input("A", vec![n, n], Format::csr());
+    let x = p.input("X", vec![n, 8], Format::csr());
+    let x1 = p.contract("X1", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
+    let t = p.contract("T", vec![i, j], vec![(a, vec![i, k2]), (x1, vec![k2, j])], vec![k2], Format::csr());
+    let _ = (t, u);
+    p.mark_output(t);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 3, &Format::csr()));
+    inputs.insert("X".into(), gen::sparse_features(n, 8, 0.5, 4, &Format::csr()));
+
+    let unfused = compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
+    let fused = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    // Recomputation shows up as extra compute in the fused configuration.
+    assert!(
+        fused.stats.flops > unfused.stats.flops,
+        "full fusion of nested matmuls must recompute ({} vs {})",
+        fused.stats.flops,
+        unfused.stats.flops
+    );
+}
+
+#[test]
+fn masked_softmax_pipeline_matches_reference() {
+    // exp/rowmax/rowsum/div over the sparse structure, the attention
+    // pattern of Section 8's GPT-3 model.
+    let n = 10;
+    let mut p = Program::new();
+    let (i, j) = (p.index("i"), p.index("j"));
+    let s = p.input("S", vec![n, n], Format::csr());
+    let m = p.reduce("M", (s, vec![i, j]), vec![j], ReduceOp::Max, Format::dense_vec());
+    let sh = p.binary("Sh", OpKind::Sub, (s, vec![i, j]), (m, vec![i]), vec![i, j], Format::csr());
+    let e = p.map("E", AluOp::Exp, (sh, vec![i, j]), Format::csr());
+    let d = p.reduce("D", (e, vec![i, j]), vec![j], ReduceOp::Sum, Format::dense_vec());
+    let o = p.binary("O", OpKind::Div, (e, vec![i, j]), (d, vec![i]), vec![i, j], Format::csr());
+    p.mark_output(o);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("S".into(), gen::adjacency(n, 0.4, gen::GraphPattern::Uniform, 7, &Format::csr()));
+
+    for schedule in [Schedule::unfused(), Schedule::full()] {
+        let r = compile_run_verify(&p, &schedule, &inputs, &SimConfig::default()).unwrap();
+        // Softmax rows sum to one over the structure.
+        let dense = r.outputs["O"].to_dense();
+        for row in 0..n {
+            let sum: f32 = (0..n).map(|c| dense.get(&[row, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-3, "row {row} sums to {sum}");
+        }
+    }
+}
+
+#[test]
+fn union_add_of_two_matmuls_matches_reference() {
+    // GraphSAGE-style: T_self + T_nbor, two streamed intermediates joined
+    // by union at a shared outer row.
+    let n = 14;
+    let mut p = Program::new();
+    let (i, k, u, k2) = (p.index("i"), p.index("k"), p.index("u"), p.index("k2"));
+    let a = p.input("A", vec![n, n], Format::csr());
+    let x = p.input("X", vec![n, 6], Format::csr());
+    let w1 = p.input("W1", vec![6, 6], Format::dense(2));
+    let ts = p.contract("Tself", vec![i, u], vec![(x, vec![i, k]), (w1, vec![k, u])], vec![k], Format::csr());
+    let tn = p.contract("Tnbor", vec![i, u], vec![(a, vec![i, k2]), (x, vec![k2, u])], vec![k2], Format::csr());
+    let sum = p.binary("Sum", OpKind::Add, (ts, vec![i, u]), (tn, vec![i, u]), vec![i, u], Format::csr());
+    let out = p.map("Out", AluOp::Relu, (sum, vec![i, u]), Format::csr());
+    p.mark_output(out);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 21, &Format::csr()));
+    inputs.insert("X".into(), gen::sparse_features(n, 6, 0.6, 22, &Format::csr()));
+    inputs.insert("W1".into(), SparseTensor::from_dense(&gen::dense_features(6, 6, 23), &Format::dense(2)));
+
+    for schedule in [Schedule::unfused(), Schedule::full()] {
+        compile_run_verify(&p, &schedule, &inputs, &SimConfig::default()).unwrap();
+    }
+}
+
+#[test]
+fn global_iteration_baseline_matches_and_is_slower() {
+    // Chained matmul region lowered Custard-style (one global space) vs
+    // FuseFlow's factored iteration (Fig 5 / Section 8.4).
+    let n = 16;
+    let mut p = Program::new();
+    let (i, k, u, j) = (p.index("i"), p.index("k"), p.index("u"), p.index("j"));
+    let a = p.input("A", vec![n, n], Format::csr());
+    let x = p.input("X", vec![n, 10], Format::csr());
+    let w = p.input("W", vec![10, 6], Format::dense(2));
+    let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
+    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    p.mark_output(t1);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("A".into(), gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 31, &Format::csr()));
+    inputs.insert("X".into(), gen::sparse_features(n, 10, 0.4, 32, &Format::csr()));
+    inputs.insert("W".into(), SparseTensor::from_dense(&gen::dense_features(10, 6, 33), &Format::dense(2)));
+
+    let factored = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    let global = compile_run_verify(
+        &p,
+        &Schedule::full().with_global_iteration(),
+        &inputs,
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        global.stats.cycles > factored.stats.cycles,
+        "global iteration must pay coordinate-explosion overhead ({} vs {})",
+        global.stats.cycles,
+        factored.stats.cycles
+    );
+}
+
+#[test]
+fn parallelized_fused_matmul_matches_and_speeds_up() {
+    let n = 24;
+    let mut p = Program::new();
+    let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
+    let a = p.input("A", vec![n, n], Format::csr());
+    let x = p.input("X", vec![n, 12], Format::csr());
+    let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
+    p.mark_output(t);
+
+    let mut inputs = Inputs::new();
+    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 41, &Format::csr()));
+    inputs.insert("X".into(), gen::sparse_features(n, 12, 0.5, 42, &Format::csr()));
+
+    let serial = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    let par = compile_run_verify(
+        &p,
+        &Schedule::full().with_parallelization(i, 4),
+        &inputs,
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        par.stats.cycles < serial.stats.cycles,
+        "parallelization must speed up ({} vs {})",
+        par.stats.cycles,
+        serial.stats.cycles
+    );
+}
+
+#[test]
+fn fusion_tables_render() {
+    let (p, _) = gcn_layerish(8, 6, 4);
+    let compiled = compile(&p, &Schedule::full()).unwrap();
+    let tables = compiled.tables();
+    assert!(tables.contains("val"));
+    assert!(tables.contains("Intersect") || tables.contains("LS"));
+    assert!(compiled.node_count() > 10);
+}
+
+#[test]
+fn run_without_required_input_errors() {
+    let (p, _) = gcn_layerish(8, 6, 4);
+    let compiled = compile(&p, &Schedule::unfused()).unwrap();
+    let err = run(&p, &compiled, &Inputs::new(), &SimConfig::default()).unwrap_err();
+    assert!(err.to_string().contains("missing input"));
+}
+
+#[test]
+fn verify_catches_wrong_outputs() {
+    let (p, inputs) = gcn_layerish(8, 6, 4);
+    let mut bogus = HashMap::new();
+    bogus.insert(
+        "Out".to_string(),
+        SparseTensor::from_dense(&gen::dense_features(8, 4, 99), &Format::csr()),
+    );
+    assert!(verify(&p, &inputs, &bogus).is_err());
+}
