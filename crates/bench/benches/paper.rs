@@ -6,12 +6,20 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuseflow_core::pipeline::{compile, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_core::{estimate, fuse_region};
-use fuseflow_models::{gcn, gpt_attention, gpt_attention_blocked, graphsage, sae, Fusion, GraphDataset};
+use fuseflow_models::{
+    gcn, gpt_attention, gpt_attention_blocked, graphsage, sae, Fusion, GraphDataset,
+};
 use fuseflow_sim::{SimConfig, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
 
 fn tiny_graph() -> GraphDataset {
-    GraphDataset { name: "bench", nodes: 48, feats: 16, density: 0.08, pattern: GraphPattern::PowerLaw }
+    GraphDataset {
+        name: "bench",
+        nodes: 48,
+        feats: 16,
+        density: 0.08,
+        pattern: GraphPattern::PowerLaw,
+    }
 }
 
 fn sim() -> SimConfig {

@@ -3,9 +3,9 @@
 //! `table4`, ...). Results print as aligned text and are written as CSV
 //! under `results/`.
 
+use fuseflow_core::estimate;
 use fuseflow_core::pipeline::{compile, compile_at, run};
 use fuseflow_core::schedule::Schedule;
-use fuseflow_core::estimate;
 use fuseflow_models::{
     gcn, gpt_attention, gpt_attention_blocked, gpt_decoder, graphsage, sae, Fusion, GraphDataset,
     ModelInstance, GRAPH_DATASETS, SAE_DATASETS,
@@ -65,7 +65,13 @@ fn fig1() {
 /// Fig 4b / §8.4: prior-compiler comparison on GCN/collab.
 fn fig4b() {
     println!("\n== Fig 4b: C+S (unfused) vs C+S (rewrite) vs FuseFlow, GCN ==");
-    let ds = GraphDataset { name: "collab", nodes: 96, feats: 24, density: 0.03, pattern: GraphPattern::PowerLaw };
+    let ds = GraphDataset {
+        name: "collab",
+        nodes: 96,
+        feats: 24,
+        density: 0.03,
+        pattern: GraphPattern::PowerLaw,
+    };
     let m = gcn(&ds, 16, 8, 7);
     let unfused = run_model(&m, &Schedule::unfused()).cycles;
     // C+S rewrite: the user hand-composes the two matmuls of each layer into
@@ -92,7 +98,11 @@ fn fig12() {
         let base = run_model(m, &m.schedule(Fusion::Unfused)).cycles;
         for f in Fusion::ALL {
             let c = run_model(m, &m.schedule(f)).cycles;
-            println!("  {model:10} {dsname:10} {f:8} {:>12} cycles  {:.2}x", c, base as f64 / c as f64);
+            println!(
+                "  {model:10} {dsname:10} {f:8} {:>12} cycles  {:.2}x",
+                c,
+                base as f64 / c as f64
+            );
             writeln!(csv, "{model},{dsname},{f},{c},{:.3}", base as f64 / c as f64).unwrap();
         }
     };
@@ -116,7 +126,13 @@ fn fig12() {
 fn fig13() {
     println!("\n== Fig 13: Comal vs FPGA-RTL backend trend agreement ==");
     let mut pairs: Vec<(f64, f64, String)> = Vec::new();
-    let ds = GraphDataset { name: "karate", nodes: 34, feats: 16, density: 0.14, pattern: GraphPattern::Uniform };
+    let ds = GraphDataset {
+        name: "karate",
+        nodes: 34,
+        feats: 16,
+        density: 0.14,
+        pattern: GraphPattern::Uniform,
+    };
     let mut kernels: Vec<(String, ModelInstance)> = vec![
         ("gcn".into(), gcn(&ds, 8, 4, 3)),
         ("graphsage".into(), graphsage(&ds, 8, 4, 5)),
@@ -139,10 +155,8 @@ fn fig13() {
     let n = xs.len() as f64;
     let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
     let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
-    let (vx, vy): (f64, f64) = (
-        xs.iter().map(|x| (x - mx).powi(2)).sum(),
-        ys.iter().map(|y| (y - my).powi(2)).sum(),
-    );
+    let (vx, vy): (f64, f64) =
+        (xs.iter().map(|x| (x - mx).powi(2)).sum(), ys.iter().map(|y| (y - my).powi(2)).sum());
     let r2 = (cov * cov) / (vx * vy);
     println!("  {} kernels, R^2 = {:.3}", pairs.len(), r2);
     let mut csv = String::from("kernel,comal_cycles,fpga_cycles\n");
@@ -167,9 +181,14 @@ fn fig14() {
             let br = s.dram_bytes() as f64 / base.dram_bytes() as f64;
             println!(
                 "  {:8} {:8} flops x{:.2}  bytes x{:.2}  OI {:.3}",
-                ds.name, f, fr, br, s.operational_intensity()
+                ds.name,
+                f,
+                fr,
+                br,
+                s.operational_intensity()
             );
-            writeln!(csv, "{},{},{:.4},{:.4},{:.4}", ds.name, f, fr, br, s.operational_intensity()).unwrap();
+            writeln!(csv, "{},{},{:.4},{:.4},{:.4}", ds.name, f, fr, br, s.operational_intensity())
+                .unwrap();
         }
     }
     save("fig14", &csv);
@@ -181,7 +200,13 @@ fn fig15() {
     let mut csv = String::from("pattern,sparsity,partial_speedup,full_speedup\n");
     for pattern in [GraphPattern::Uniform, GraphPattern::PowerLaw, GraphPattern::BlockDiagonal] {
         for sparsity in [0.5, 0.7, 0.8, 0.9, 0.95] {
-            let ds = GraphDataset { name: "synthetic", nodes: 100, feats: 24, density: 1.0 - sparsity, pattern };
+            let ds = GraphDataset {
+                name: "synthetic",
+                nodes: 100,
+                feats: 24,
+                density: 1.0 - sparsity,
+                pattern,
+            };
             let m = gcn(&ds, 16, 8, 55);
             let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles as f64;
             let part = base / run_model(&m, &m.schedule(Fusion::Partial)).cycles as f64;
@@ -218,11 +243,9 @@ fn fig16() {
     let j_var = m.program.exprs()[0].output.indices[1];
     let base_unf = run_model_on_chip(&m, &m.schedule(Fusion::Unfused)).cycles;
     let mut csv = String::from("location,factor,cycles,speedup\n");
-    for (loc, vars) in [
-        ("level1", vec![i_var]),
-        ("level2", vec![j_var]),
-        ("both", vec![i_var, j_var]),
-    ] {
+    for (loc, vars) in
+        [("level1", vec![i_var]), ("level2", vec![j_var]), ("both", vec![i_var, j_var])]
+    {
         for factor in [1usize, 2, 4] {
             let mut sched = m.schedule(Fusion::Unfused);
             for v in &vars {
@@ -252,7 +275,10 @@ fn fig17() {
         let bl = gpt_attention_blocked(seq, dh, block, 13);
         let cu = run_model(&un, &un.schedule(Fusion::Full)).cycles;
         let cb = run_model(&bl, &bl.schedule(Fusion::Full)).cycles;
-        println!("  block {block:>2}: unstructured {cu:>12}  blocked {cb:>10}  {:.1}x", cu as f64 / cb as f64);
+        println!(
+            "  block {block:>2}: unstructured {cu:>12}  blocked {cb:>10}  {:.1}x",
+            cu as f64 / cb as f64
+        );
         writeln!(csv, "{block},{cu},{cb},{:.3}", cu as f64 / cb as f64).unwrap();
     }
     save("fig17", &csv);
@@ -274,25 +300,43 @@ fn fig18() {
         let w = p.input("W", vec![16, 8], Format::dense(2));
         let v1 = [i, k, u];
         let v2 = [i, u, j];
-        let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
+        let t0 = p.contract(
+            "T0",
+            vec![i, u],
+            vec![(a, vec![i, k]), (x, vec![k, u])],
+            vec![k],
+            Format::csr(),
+        );
         let d1: Vec<IndexVar> = o1.iter().map(|&d| v1[d]).collect();
         p.set_dataflow(d1.clone());
-        let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+        let t1 = p.contract(
+            "T1",
+            vec![i, j],
+            vec![(t0, vec![i, u]), (w, vec![u, j])],
+            vec![u],
+            Format::csr(),
+        );
         let d2: Vec<IndexVar> = o2.iter().map(|&d| v2[d]).collect();
         p.set_dataflow(d2.clone());
         p.mark_output(t1);
-        let name = |v: &[IndexVar]| v.iter().map(|x| p.index_name(*x).to_string()).collect::<Vec<_>>().join("");
+        let name = |v: &[IndexVar]| {
+            v.iter().map(|x| p.index_name(*x).to_string()).collect::<Vec<_>>().join("")
+        };
         let label = format!("{}|{}", name(&d1), name(&d2));
         let _ = t0;
         let _ = t1;
         (p, label)
     };
     let mut inputs = HashMap::new();
-    inputs.insert("A".to_string(), gen::adjacency(n, 0.13, GraphPattern::Uniform, 3, &Format::csr()));
+    inputs
+        .insert("A".to_string(), gen::adjacency(n, 0.13, GraphPattern::Uniform, 3, &Format::csr()));
     inputs.insert("X".to_string(), gen::sparse_features(n, 16, 0.4, 4, &Format::csr()));
     inputs.insert(
         "W".to_string(),
-        SparseTensor::from_dense(&fuseflow_tensor::gen::dense_features(16, 8, 5), &Format::dense(2)),
+        SparseTensor::from_dense(
+            &fuseflow_tensor::gen::dense_features(16, 8, 5),
+            &Format::dense(2),
+        ),
     );
     let perms3: Vec<[usize; 3]> =
         vec![[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
@@ -323,7 +367,13 @@ fn fig18() {
 /// Table 3: heuristic FLOPs/bytes error against the simulator.
 fn table3() {
     println!("\n== Table 3: heuristic avg % error (FLOPs / bytes) ==");
-    let ds = GraphDataset { name: "collab", nodes: 96, feats: 24, density: 0.03, pattern: GraphPattern::PowerLaw };
+    let ds = GraphDataset {
+        name: "collab",
+        nodes: 96,
+        feats: 24,
+        density: 0.03,
+        pattern: GraphPattern::PowerLaw,
+    };
     let mut csv = String::from("model,flops_err_pct,bytes_err_pct\n");
     let models: Vec<(&str, ModelInstance)> = vec![
         ("gpt3-b16", gpt_decoder(64, 16, 16, 1)),
@@ -355,7 +405,13 @@ fn table4() {
     println!("\n== Table 4: dataflow-order design-space size ==");
     let cap: u128 = 200_000_000;
     let mut csv = String::from("model,unconstrained,capped,constrained\n");
-    let ds = GraphDataset { name: "collab", nodes: 64, feats: 16, density: 0.04, pattern: GraphPattern::PowerLaw };
+    let ds = GraphDataset {
+        name: "collab",
+        nodes: 64,
+        feats: 16,
+        density: 0.04,
+        pattern: GraphPattern::PowerLaw,
+    };
     let fact = |n: usize| -> u128 { (1..=n as u128).product() };
     for (name, m) in [("gcn", gcn(&ds, 8, 4, 1)), ("graphsage", graphsage(&ds, 8, 4, 2))] {
         let mut un: u128 = 1;

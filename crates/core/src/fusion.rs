@@ -13,6 +13,14 @@ use crate::ir::{Einsum, IndexVar, OpKind, Program, ReduceOp, TensorId};
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 
+/// Consumer accesses of one produced tensor sharing an index vector:
+/// `(indices, uses as (expr, input-slot) pairs)`.
+type AccessGroup = (Vec<IndexVar>, Vec<(usize, usize)>);
+
+/// A view conflict found in step 4: `(tensor, producer expr, the uses that
+/// must move to a cloned producer chain)`.
+type ViewConflict = (TensorId, usize, Vec<(usize, usize)>);
+
 /// An index variable in a fused region's global (renamed) index space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalIx(pub u32);
@@ -36,12 +44,7 @@ impl FusedExpr {
     /// Distinct global indices, in first-use order.
     pub fn index_set(&self) -> Vec<GlobalIx> {
         let mut seen = Vec::new();
-        for ix in self
-            .output
-            .1
-            .iter()
-            .chain(self.inputs.iter().flat_map(|(_, ixs)| ixs.iter()))
-        {
+        for ix in self.output.1.iter().chain(self.inputs.iter().flat_map(|(_, ixs)| ixs.iter())) {
             if !seen.contains(ix) {
                 seen.push(*ix);
             }
@@ -186,7 +189,7 @@ impl Pog {
         for &(a, b) in &self.edges {
             preds[b as usize] |= 1 << a;
         }
-        let full = if self.n == 32 { u32::MAX } else { (1u32 << self.n) - 1 };
+        let full = (1u32 << self.n) - 1; // n <= 24 per the early return above
         let mut dp = vec![0u128; (full as usize) + 1];
         dp[0] = 1;
         for mask in 0..=full {
@@ -194,9 +197,9 @@ impl Pog {
             if base == 0 {
                 continue;
             }
-            for v in 0..self.n {
+            for (v, &pred) in preds.iter().enumerate() {
                 let bit = 1u32 << v;
-                if mask & bit == 0 && (preds[v] & !mask) == 0 {
+                if mask & bit == 0 && (pred & !mask) == 0 {
                     let next = (mask | bit) as usize;
                     dp[next] = dp[next].saturating_add(base);
                     if dp[next] > cap {
@@ -280,11 +283,7 @@ impl FusedRegion {
     /// Resolves a program-level index variable to its global index, if it
     /// appears in the region.
     pub fn global_for_program_var(&self, var: IndexVar) -> Option<GlobalIx> {
-        self.global_of
-            .iter()
-            .filter(|((_, v), _)| *v == var)
-            .map(|(_, g)| *g)
-            .next()
+        self.global_of.iter().filter(|((_, v), _)| *v == var).map(|(_, g)| *g).next()
     }
 }
 
@@ -339,10 +338,10 @@ pub fn fuse_region(program: &Program, range: Range<usize>) -> Result<FusedRegion
     for _ in 0..64 {
         let produced: Vec<(TensorId, usize)> =
             exprs.iter().enumerate().map(|(i, e)| (e.output.tensor, i)).collect();
-        let mut conflict: Option<(TensorId, usize, Vec<(usize, usize)>)> = None;
+        let mut conflict: Option<ViewConflict> = None;
         for &(t, pi) in &produced {
             // Group consumer accesses by index vector.
-            let mut groups: Vec<(Vec<IndexVar>, Vec<(usize, usize)>)> = Vec::new();
+            let mut groups: Vec<AccessGroup> = Vec::new();
             for (ci, c) in exprs.iter().enumerate().skip(pi + 1) {
                 for (ii, a) in c.inputs.iter().enumerate() {
                     if a.tensor == t {
@@ -365,8 +364,7 @@ pub fn fuse_region(program: &Program, range: Range<usize>) -> Result<FusedRegion
         let mut chain: Vec<usize> = vec![pi];
         let mut frontier = vec![pi];
         while let Some(e) = frontier.pop() {
-            let input_tensors: Vec<TensorId> =
-                exprs[e].inputs.iter().map(|a| a.tensor).collect();
+            let input_tensors: Vec<TensorId> = exprs[e].inputs.iter().map(|a| a.tensor).collect();
             for it in input_tensors {
                 if let Some(ppi) = exprs.iter().position(|x| x.output.tensor == it) {
                     if !chain.contains(&ppi) {
@@ -602,7 +600,7 @@ pub fn fuse_region(program: &Program, range: Range<usize>) -> Result<FusedRegion
             let mut s: Vec<GlobalIx> = c
                 .index_set()
                 .into_iter()
-                .chain(scopes[ci].clone().expect("computed later expr").into_iter())
+                .chain(scopes[ci].clone().expect("computed later expr"))
                 .filter(|g| posn[g] < top && !own.contains(g))
                 .collect();
             s.sort_by_key(|g| posn[g]);
@@ -613,7 +611,7 @@ pub fn fuse_region(program: &Program, range: Range<usize>) -> Result<FusedRegion
                 Some(_) => {
                     let t = fused[ei].output.0;
                     let t = *clone_of.get(&t).unwrap_or(&t);
-                    return Err(FuseError::ConflictingScopes(program.tensor(t).name.clone()))
+                    return Err(FuseError::ConflictingScopes(program.tensor(t).name.clone()));
                 }
             }
         }
@@ -646,8 +644,20 @@ mod tests {
         let a = p.input("A", vec![8, 8], Format::csr());
         let x = p.input("X", vec![8, 6], Format::csr());
         let w = p.input("W", vec![6, 4], Format::dense(2));
-        let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-        let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+        let t0 = p.contract(
+            "T0",
+            vec![i, u],
+            vec![(a, vec![i, k]), (x, vec![k, u])],
+            vec![k],
+            Format::csr(),
+        );
+        let t1 = p.contract(
+            "T1",
+            vec![i, j],
+            vec![(t0, vec![i, u]), (w, vec![u, j])],
+            vec![u],
+            Format::csr(),
+        );
         p.mark_output(t1);
         (p, 0..2)
     }
@@ -697,20 +707,27 @@ mod tests {
         // mode orders [i,u] and [u,j]... construct the paper's example:
         // both products share B, and A's second use transposes it.
         let mut p = Program::new();
-        let (i, k, j, k2, j2) = (
-            p.index("i"),
-            p.index("k"),
-            p.index("j"),
-            p.index("k2"),
-            p.index("j2"),
-        );
+        let (i, k, j, k2, j2) =
+            (p.index("i"), p.index("k"), p.index("j"), p.index("k2"), p.index("j2"));
         let b = p.input("B", vec![4, 4], Format::csr());
         let c = p.input("C", vec![4, 4], Format::csr());
-        let a = p.contract("A", vec![i, j], vec![(b, vec![i, k]), (c, vec![k, j])], vec![k], Format::csr());
+        let a = p.contract(
+            "A",
+            vec![i, j],
+            vec![(b, vec![i, k]), (c, vec![k, j])],
+            vec![k],
+            Format::csr(),
+        );
         // E = B * A with A accessed (k2, j2): k2 unifies with... A[k2, j2]
         // means A's row index k2 is E's reduction: A's output (i, j) maps to
         // (k2, j2), so i ≡ k2 makes E iterate A's rows as its inner index.
-        let e = p.contract("E", vec![i, j2], vec![(b, vec![i, k2]), (a, vec![k2, j2])], vec![k2], Format::csr());
+        let e = p.contract(
+            "E",
+            vec![i, j2],
+            vec![(b, vec![i, k2]), (a, vec![k2, j2])],
+            vec![k2],
+            Format::csr(),
+        );
         p.mark_output(e);
         let f = fuse_region(&p, 0..2).unwrap();
         // The second kernel nests A's production under its own i loop:

@@ -89,7 +89,12 @@ pub fn estimate(
                 let reduce_vol: f64 =
                     e.reduce.iter().map(|u| program.index_size(*u) as f64).product();
                 let d = 1.0 - (1.0 - joint).powf(reduce_vol.max(1.0));
-                (d.min(1.0), 2.0 * matched * block_elems.max(1.0) * if block_elems > 1.0 { out_decl.block[0] as f64 } else { 1.0 })
+                (
+                    d.min(1.0),
+                    2.0 * matched
+                        * block_elems.max(1.0)
+                        * if block_elems > 1.0 { out_decl.block[0] as f64 } else { 1.0 },
+                )
             }
             OpKind::MulElem => {
                 let joint: f64 = in_stats.iter().map(|s| s.density).product();
@@ -116,11 +121,8 @@ pub fn estimate(
             }
         };
         flops += expr_flops;
-        let out_nnz = if out_decl.format.has_compressed() {
-            out_total * out_density
-        } else {
-            out_total
-        };
+        let out_nnz =
+            if out_decl.format.has_compressed() { out_total * out_density } else { out_total };
         stats.insert(e.output.tensor, TStat { density: out_density, nnz: out_nnz });
     }
 
@@ -155,9 +157,8 @@ pub fn estimate(
         }
         for e in &program.exprs()[r.clone()] {
             let t = e.output.tensor;
-            let consumed_later = program.exprs()[r.end..]
-                .iter()
-                .any(|c| c.inputs.iter().any(|a| a.tensor == t));
+            let consumed_later =
+                program.exprs()[r.end..].iter().any(|c| c.inputs.iter().any(|a| a.tensor == t));
             let is_output = program.outputs().contains(&t);
             if consumed_later || is_output {
                 bytes += stats[&t].nnz * 4.0;
@@ -180,13 +181,40 @@ mod tests {
         let a = p.input("A", vec![32, 32], Format::csr());
         let x = p.input("X", vec![32, 16], Format::dense(2));
         let w = p.input("W", vec![16, 8], Format::dense(2));
-        let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-        let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+        let t0 = p.contract(
+            "T0",
+            vec![i, u],
+            vec![(a, vec![i, k]), (x, vec![k, u])],
+            vec![k],
+            Format::csr(),
+        );
+        let t1 = p.contract(
+            "T1",
+            vec![i, j],
+            vec![(t0, vec![i, u]), (w, vec![u, j])],
+            vec![u],
+            Format::csr(),
+        );
         p.mark_output(t1);
         let mut inputs = HashMap::new();
-        inputs.insert("A".into(), gen::adjacency(32, 0.1, gen::GraphPattern::Uniform, 1, &Format::csr()));
-        inputs.insert("X".into(), fuseflow_tensor::SparseTensor::from_dense(&gen::dense_features(32, 16, 2), &Format::dense(2)));
-        inputs.insert("W".into(), fuseflow_tensor::SparseTensor::from_dense(&gen::dense_features(16, 8, 3), &Format::dense(2)));
+        inputs.insert(
+            "A".into(),
+            gen::adjacency(32, 0.1, gen::GraphPattern::Uniform, 1, &Format::csr()),
+        );
+        inputs.insert(
+            "X".into(),
+            fuseflow_tensor::SparseTensor::from_dense(
+                &gen::dense_features(32, 16, 2),
+                &Format::dense(2),
+            ),
+        );
+        inputs.insert(
+            "W".into(),
+            fuseflow_tensor::SparseTensor::from_dense(
+                &gen::dense_features(16, 8, 3),
+                &Format::dense(2),
+            ),
+        );
         (p, inputs)
     }
 

@@ -62,7 +62,13 @@ impl Structured {
 fn structure_coo(t: &SparseTensor) -> Vec<(Vec<u32>, f32)> {
     // Walk levels directly: every stored position is structure.
     let mut out = Vec::new();
-    fn walk(t: &SparseTensor, lvl: usize, parent: usize, coords: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, f32)>) {
+    fn walk(
+        t: &SparseTensor,
+        lvl: usize,
+        parent: usize,
+        coords: &mut Vec<u32>,
+        out: &mut Vec<(Vec<u32>, f32)>,
+    ) {
         for (c, child) in t.level(lvl).fiber(parent) {
             coords.push(c);
             if lvl + 1 == t.order() {
@@ -90,7 +96,9 @@ impl std::fmt::Display for InterpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpError::MissingInput(n) => write!(f, "missing input '{n}'"),
-            InterpError::Blocked(n) => write!(f, "tensor '{n}' is blocked; use a model-specific reference"),
+            InterpError::Blocked(n) => {
+                write!(f, "tensor '{n}' is blocked; use a model-specific reference")
+            }
         }
     }
 }
@@ -112,7 +120,8 @@ pub fn interpret(
         if decl.block != [1, 1] {
             return Err(InterpError::Blocked(decl.name.clone()));
         }
-        let t = inputs.get(&decl.name).ok_or_else(|| InterpError::MissingInput(decl.name.clone()))?;
+        let t =
+            inputs.get(&decl.name).ok_or_else(|| InterpError::MissingInput(decl.name.clone()))?;
         env.insert(id, Structured::from_sparse(t));
     }
 
@@ -172,7 +181,7 @@ pub fn interpret(
         let supported = |n: usize, t: usize, coords: &[usize]| -> bool {
             match (0..=t).rev().find(|&l| closed[n][l]) {
                 None => true,
-                Some(ts) => prefixes[n][ts].contains(&coords[..=ts].to_vec()),
+                Some(ts) => prefixes[n][ts].contains(&coords[..=ts]),
             }
         };
         let union_like = !(e.op.intersects() || e.op.arity() == Some(1));
@@ -257,10 +266,7 @@ pub fn interpret(
         env.insert(e.output.tensor, Structured { vals: out_vals, mask: out_mask });
     }
 
-    Ok(env
-        .into_iter()
-        .map(|(id, s)| (program.tensor(id).name.clone(), s))
-        .collect())
+    Ok(env.into_iter().map(|(id, s)| (program.tensor(id).name.clone(), s)).collect())
 }
 
 #[cfg(test)]
@@ -280,7 +286,13 @@ mod tests {
         let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
         let a = p.input("A", vec![6, 5], Format::csr());
         let x = p.input("X", vec![5, 4], Format::dense(2));
-        let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
+        let t = p.contract(
+            "T",
+            vec![i, j],
+            vec![(a, vec![i, k]), (x, vec![k, j])],
+            vec![k],
+            Format::csr(),
+        );
         p.mark_output(t);
 
         let at = gen::sparse_features(6, 5, 0.4, 1, &Format::csr());
@@ -300,7 +312,8 @@ mod tests {
         let e = p.map("E", AluOp::Exp, (a, vec![i, j]), Format::dcsr());
         p.mark_output(e);
 
-        let at = SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 2.0)], &Format::dcsr()).unwrap();
+        let at =
+            SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 2.0)], &Format::dcsr()).unwrap();
         let out = interpret(&p, &bind(vec![("A", at)])).unwrap();
         assert!((out["E"].vals.get(&[0, 0]) - 2.0f32.exp()).abs() < 1e-5);
         assert_eq!(out["E"].vals.get(&[1, 1]), 0.0, "absent coordinate must stay zero");
@@ -313,11 +326,20 @@ mod tests {
         let (i, j) = (p.index("i"), p.index("j"));
         let a = p.input("A", vec![2, 2], Format::dcsr());
         let b = p.input("B", vec![2, 2], Format::dcsr());
-        let c = p.binary("C", OpKind::Add, (a, vec![i, j]), (b, vec![i, j]), vec![i, j], Format::dcsr());
+        let c = p.binary(
+            "C",
+            OpKind::Add,
+            (a, vec![i, j]),
+            (b, vec![i, j]),
+            vec![i, j],
+            Format::dcsr(),
+        );
         p.mark_output(c);
 
-        let at = SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 1.0)], &Format::dcsr()).unwrap();
-        let bt = SparseTensor::from_coo(vec![2, 2], vec![(vec![1, 1], 2.0)], &Format::dcsr()).unwrap();
+        let at =
+            SparseTensor::from_coo(vec![2, 2], vec![(vec![0, 0], 1.0)], &Format::dcsr()).unwrap();
+        let bt =
+            SparseTensor::from_coo(vec![2, 2], vec![(vec![1, 1], 2.0)], &Format::dcsr()).unwrap();
         let out = interpret(&p, &bind(vec![("A", at), ("B", bt)])).unwrap();
         assert_eq!(out["C"].vals.get(&[0, 0]), 1.0);
         assert_eq!(out["C"].vals.get(&[1, 1]), 2.0);
@@ -351,14 +373,18 @@ mod tests {
         let (i, j) = (p.index("i"), p.index("j"));
         let t = p.input("T", vec![2, 2], Format::dense(2));
         let b = p.input("b", vec![2], Format::dense_vec());
-        let o = p.binary("O", OpKind::Add, (t, vec![i, j]), (b, vec![j]), vec![i, j], Format::dense(2));
+        let o =
+            p.binary("O", OpKind::Add, (t, vec![i, j]), (b, vec![j]), vec![i, j], Format::dense(2));
         p.mark_output(o);
 
         let tt = SparseTensor::from_dense(
             &DenseTensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]),
             &Format::dense(2),
         );
-        let bt = SparseTensor::from_dense(&DenseTensor::from_vec(vec![2], vec![10., 20.]), &Format::dense_vec());
+        let bt = SparseTensor::from_dense(
+            &DenseTensor::from_vec(vec![2], vec![10., 20.]),
+            &Format::dense_vec(),
+        );
         let out = interpret(&p, &bind(vec![("T", tt), ("b", bt)])).unwrap();
         assert_eq!(out["O"].vals.data(), &[11., 22., 13., 24.]);
     }

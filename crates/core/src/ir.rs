@@ -130,11 +130,8 @@ impl Einsum {
     /// All distinct index variables of this expression, output-first.
     pub fn index_set(&self) -> Vec<IndexVar> {
         let mut seen = Vec::new();
-        for ix in self
-            .output
-            .indices
-            .iter()
-            .chain(self.inputs.iter().flat_map(|a| a.indices.iter()))
+        for ix in
+            self.output.indices.iter().chain(self.inputs.iter().flat_map(|a| a.indices.iter()))
         {
             if !seen.contains(ix) {
                 seen.push(*ix);
@@ -203,7 +200,12 @@ impl Program {
     /// # Panics
     ///
     /// Panics on duplicate names or shape/format order mismatch.
-    pub fn input(&mut self, name: impl Into<String>, shape: Vec<usize>, format: Format) -> TensorId {
+    pub fn input(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        format: Format,
+    ) -> TensorId {
         self.declare(name, shape, format, [1, 1], true)
     }
 
@@ -238,12 +240,7 @@ impl Program {
 
     fn bind_indices(&mut self, tensor: TensorId, indices: &[IndexVar]) {
         let decl = self.tensors[tensor.0].clone();
-        assert_eq!(
-            indices.len(),
-            decl.shape.len(),
-            "access arity mismatch for '{}'",
-            decl.name
-        );
+        assert_eq!(indices.len(), decl.shape.len(), "access arity mismatch for '{}'", decl.name);
         for (lvl, ix) in indices.iter().enumerate() {
             // Blocked tensors bind indices over the block grid.
             let size = decl.shape[lvl] / if lvl < 2 { decl.block[lvl] } else { 1 };
@@ -281,8 +278,7 @@ impl Program {
         // Infer the output shape from index extents (block-grid extents for
         // blocked inputs produce blocked outputs; callers of blocked
         // pipelines use `expr_blocked`).
-        let shape: Vec<usize> =
-            out_indices.iter().map(|ix| self.index_size(*ix)).collect();
+        let shape: Vec<usize> = out_indices.iter().map(|ix| self.index_size(*ix)).collect();
         let out = self.declare(name, shape, format, [1, 1], false);
         self.bind_indices(out, &out_indices);
         self.exprs.push(Einsum {
@@ -442,11 +438,7 @@ impl Program {
 
     /// Program inputs.
     pub fn inputs(&self) -> impl Iterator<Item = (TensorId, &TensorDecl)> {
-        self.tensors
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.is_input)
-            .map(|(i, d)| (TensorId(i), d))
+        self.tensors.iter().enumerate().filter(|(_, d)| d.is_input).map(|(i, d)| (TensorId(i), d))
     }
 
     /// Pretty-prints an expression in Einsum notation.
@@ -494,8 +486,20 @@ mod tests {
         let a = p.input("A", vec![4, 5], Format::csr());
         let b = p.input("B", vec![5, 6], Format::csr());
         let c = p.input("C", vec![6, 7], Format::dense(2));
-        let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (b, vec![k, j])], vec![k], Format::csr());
-        let d = p.contract("D", vec![i, l], vec![(t, vec![i, j]), (c, vec![j, l])], vec![j], Format::csr());
+        let t = p.contract(
+            "T",
+            vec![i, j],
+            vec![(a, vec![i, k]), (b, vec![k, j])],
+            vec![k],
+            Format::csr(),
+        );
+        let d = p.contract(
+            "D",
+            vec![i, l],
+            vec![(t, vec![i, j]), (c, vec![j, l])],
+            vec![j],
+            Format::csr(),
+        );
         p.mark_output(d);
         assert_eq!(p.exprs().len(), 2);
         assert_eq!(p.index_size(i), 4);
@@ -513,7 +517,13 @@ mod tests {
         let (i, j) = (p.index("i"), p.index("j"));
         let a = p.input("A", vec![4, 5], Format::csr());
         let b = p.input("B", vec![6, 7], Format::csr());
-        let _ = p.contract("T", vec![i, j], vec![(a, vec![i, j]), (b, vec![i, j])], vec![], Format::csr());
+        let _ = p.contract(
+            "T",
+            vec![i, j],
+            vec![(a, vec![i, j]), (b, vec![i, j])],
+            vec![],
+            Format::csr(),
+        );
     }
 
     #[test]
@@ -534,7 +544,13 @@ mod tests {
         let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
         let a = p.input("A", vec![2, 2], Format::csr());
         let b = p.input("B", vec![2, 2], Format::csr());
-        let _ = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (b, vec![k, j])], vec![k], Format::csr());
+        let _ = p.contract(
+            "T",
+            vec![i, j],
+            vec![(a, vec![i, k]), (b, vec![k, j])],
+            vec![k],
+            Format::csr(),
+        );
         p.set_dataflow(vec![i, k, j]);
         assert_eq!(p.exprs()[0].dataflow, Some(vec![i, k, j]));
     }

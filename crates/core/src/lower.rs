@@ -283,9 +283,8 @@ pub fn lower_region(
         }
     }
 
-    let mut table = FusionTable::new(
-        region.order.iter().map(|g| region.names[g.0 as usize].clone()).collect(),
-    );
+    let mut table =
+        FusionTable::new(region.order.iter().map(|g| region.names[g.0 as usize].clone()).collect());
 
     let mut graph = SamGraph::new();
     let mut slot_of_tensor: HashMap<TensorId, usize> = HashMap::new();
@@ -303,10 +302,7 @@ pub fn lower_region(
                 ViewKind::Inter
             } else {
                 // Materialized-transpose views bind a derived tensor name.
-                let fix = region
-                    .transposes
-                    .iter()
-                    .find(|f| f.expr == ei && f.input == pi);
+                let fix = region.transposes.iter().find(|f| f.expr == ei && f.input == pi);
                 let bind_name = match fix {
                     Some(f) => {
                         let derived = format!("{}__perm{:?}", decl.name, f.perm)
@@ -330,7 +326,10 @@ pub fn lower_region(
             let label = format!(
                 "{}[{}]",
                 decl.name,
-                ixs.iter().map(|g| region.names[g.0 as usize].clone()).collect::<Vec<_>>().join(",")
+                ixs.iter()
+                    .map(|g| region.names[g.0 as usize].clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
             let col = table.add_column(label);
             views.push(ViewRt {
@@ -444,7 +443,12 @@ pub fn lower_region(
         }
         let decl = program.tensor(t);
         let slot = if decl.block == [1, 1] {
-            ctx.graph.add_output(decl.name.clone(), decl.shape.clone(), decl.format.clone(), opts.location)
+            ctx.graph.add_output(
+                decl.name.clone(),
+                decl.shape.clone(),
+                decl.format.clone(),
+                opts.location,
+            )
         } else {
             ctx.graph.add_blocked_output(
                 decl.name.clone(),
@@ -521,7 +525,11 @@ fn owner_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Resul
                     ctx.table.set(
                         ri,
                         col,
-                        Cell::Prim(format!("LS(⟨{}_{}⟩)", ctx.tensor_name(ctx.views[vid].tensor), ctx.name(g))),
+                        Cell::Prim(format!(
+                            "LS(⟨{}_{}⟩)",
+                            ctx.tensor_name(ctx.views[vid].tensor),
+                            ctx.name(g)
+                        )),
                     );
                 }
                 ctx.views[vid].next = level + 1;
@@ -540,11 +548,8 @@ fn owner_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Resul
                                 "intermediate joined on a non-registered row".into(),
                             ));
                         };
-                        let payload = if g == innermost {
-                            Pay::Ready(prod.val.clone())
-                        } else {
-                            Pay::None
-                        };
+                        let payload =
+                            if g == innermost { Pay::Ready(prod.val.clone()) } else { Pay::None };
                         (crd.clone(), payload)
                     }
                     None => {
@@ -561,8 +566,7 @@ fn owner_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Resul
                         };
                         // A reduce-output consumed above its producer's
                         // innermost row: defer the value connection.
-                        let payload =
-                            if g == innermost { Pay::Pending(tensor) } else { Pay::None };
+                        let payload = if g == innermost { Pay::Pending(tensor) } else { Pay::None };
                         (crd.clone(), payload)
                     }
                 };
@@ -578,7 +582,6 @@ fn owner_row_work(ctx: &mut Ctx<'_>, ei: usize, g: GlobalIx, ri: usize) -> Resul
                     )),
                 );
                 contribs.push((vid, crd, payload, non_innermost));
-                let _ = prod_cell_marker();
             }
         }
     }
@@ -755,16 +758,15 @@ fn apply_split(ctx: &mut Ctx<'_>, g: GlobalIx, factor: usize) -> Result<(), Lowe
     ctx.splits.push(SplitRecord { row: g, factor, order_crd });
 
     // Split per-expression row crds together with each 1:1 owner stream.
-    let expr_count = ctx.region.exprs.len();
     let mut new_row_crd: HashMap<(usize, GlobalIx), Vec<H>> = HashMap::new();
     for ((ei, row), streams) in ctx.row_crd.clone() {
         if row == g {
             // Split: one parallelizer per old branch carrying the row crd;
             // owner payload streams ride their own parallelizers below.
             let mut nv = Vec::with_capacity(new);
-            for b in 0..old {
+            for &stream in streams.iter().take(old) {
                 let p = ctx.graph.add_node(NodeKind::Parallelizer { factor });
-                ctx.connect(streams[b], p, 0);
+                ctx.connect(stream, p, 0);
                 for s in 0..factor {
                     nv.push((p, 2 * s));
                 }
@@ -773,15 +775,14 @@ fn apply_split(ctx: &mut Ctx<'_>, g: GlobalIx, factor: usize) -> Result<(), Lowe
         } else {
             // Broadcast: replicate handles (fan-out duplicates tokens).
             let mut nv = Vec::with_capacity(new);
-            for b in 0..old {
+            for &stream in streams.iter().take(old) {
                 for _ in 0..factor {
-                    nv.push(streams[b]);
+                    nv.push(stream);
                 }
             }
             new_row_crd.insert((ei, row), nv);
         }
     }
-    let _ = expr_count;
 
     // Views: owner streams at this row (touched this row, 1:1 with row
     // elems) split; everything else broadcasts.
@@ -809,9 +810,9 @@ fn apply_split(ctx: &mut Ctx<'_>, g: GlobalIx, factor: usize) -> Result<(), Lowe
                 }
             }
         } else {
-            for b in 0..old {
+            for &stream in old_streams.iter().take(old) {
                 for _ in 0..factor {
-                    nv.push(old_streams[b]);
+                    nv.push(stream);
                 }
             }
         }
@@ -826,17 +827,17 @@ fn apply_split(ctx: &mut Ctx<'_>, g: GlobalIx, factor: usize) -> Result<(), Lowe
     for prod in ctx.produced.values_mut() {
         for streams in prod.crd.values_mut() {
             let mut nv = Vec::with_capacity(new);
-            for b in 0..old {
+            for &stream in streams.iter().take(old) {
                 for _ in 0..factor {
-                    nv.push(streams[b]);
+                    nv.push(stream);
                 }
             }
             *streams = nv;
         }
         let mut nv = Vec::with_capacity(new);
-        for b in 0..old {
+        for &v in prod.val.iter().take(old) {
             for _ in 0..factor {
-                nv.push(prod.val[b]);
+                nv.push(v);
             }
         }
         prod.val = nv;
@@ -937,9 +938,9 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
     match e.op {
         OpKind::Unary(op) => {
             let mut outs = Vec::with_capacity(ctx.branches);
-            for b in 0..ctx.branches {
+            for &v in val.iter().take(ctx.branches) {
                 let a = ctx.graph.add_node(NodeKind::Alu { op });
-                ctx.connect(val[b], a, 0);
+                ctx.connect(v, a, 0);
                 outs.push((a, 0));
             }
             val = outs;
@@ -961,11 +962,7 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
                 }
                 val = outs;
             }
-            ctx.table.set(
-                ctx.table.val_row(),
-                out_col,
-                Cell::Prim(format!("{:?}(vals)", e.op)),
-            );
+            ctx.table.set(ctx.table.val_row(), out_col, Cell::Prim(format!("{:?}(vals)", e.op)));
         }
     }
 
@@ -984,9 +981,9 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
         if below.is_empty() {
             // Innermost reduction.
             let mut outs = Vec::with_capacity(ctx.branches);
-            for b in 0..ctx.branches {
+            for &v in val.iter().take(ctx.branches) {
                 let r = ctx.graph.add_node(NodeKind::Reduce { op: e.reduce_op });
-                ctx.connect(val[b], r, 0);
+                ctx.connect(v, r, 0);
                 outs.push((r, 0));
             }
             val = outs;
@@ -994,10 +991,8 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
             ctx.table.set(row, out_col, Cell::Prim(format!("Reduce_{}", ctx.name(u))));
         } else if below.len() == 1 {
             let w = below[0];
-            let crd_in = crd_override
-                .get(&w)
-                .cloned()
-                .unwrap_or_else(|| ctx.row_crd[&(ei, w)].clone());
+            let crd_in =
+                crd_override.get(&w).cloned().unwrap_or_else(|| ctx.row_crd[&(ei, w)].clone());
             let mut crd_outs = Vec::with_capacity(ctx.branches);
             let mut val_outs = Vec::with_capacity(ctx.branches);
             for b in 0..ctx.branches {
@@ -1010,8 +1005,11 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
             crd_override.insert(w, crd_outs);
             val = val_outs;
             let row = ctx.pos[&u];
-            ctx.table
-                .set(row, out_col, Cell::Prim(format!("Spacc1_{}[{}]", ctx.name(u), ctx.name(w))));
+            ctx.table.set(
+                row,
+                out_col,
+                Cell::Prim(format!("Spacc1_{}[{}]", ctx.name(u), ctx.name(w))),
+            );
         } else {
             return Err(LowerError::Unsupported(format!(
                 "reduction over '{}' has {} free rows below it (needs a deeper accumulator)",
@@ -1024,13 +1022,12 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
     let _ = ri;
 
     // Register the produced tensor.
-    let structure: Vec<GlobalIx> = rows.iter().filter(|r| !eliminated.contains(r)).copied().collect();
+    let structure: Vec<GlobalIx> =
+        rows.iter().filter(|r| !eliminated.contains(r)).copied().collect();
     let mut crd = HashMap::new();
     for ix in &e.output.1 {
-        let streams = crd_override
-            .get(ix)
-            .cloned()
-            .unwrap_or_else(|| ctx.row_crd[&(ei, *ix)].clone());
+        let streams =
+            crd_override.get(ix).cloned().unwrap_or_else(|| ctx.row_crd[&(ei, *ix)].clone());
         crd.insert(*ix, streams);
     }
     // Resolve deferred payload connections now that the value stream
@@ -1054,9 +1051,6 @@ fn finish_expr(ctx: &mut Ctx<'_>, ei: usize, ri: usize, out_col: usize) -> Resul
     ctx.produced.insert(e.output.0, Produced { structure, crd, val });
     Ok(())
 }
-
-/// Marker for table bookkeeping of intermediate reference cells.
-fn prod_cell_marker() {}
 
 /// Merges a per-branch output stream back to a single stream with
 /// serializers (innermost split first).

@@ -124,9 +124,8 @@ pub fn compile_at(
             program.exprs()[r.clone()].iter().map(|e| e.output.tensor).collect();
         let mut outs = Vec::new();
         for &t in &produced {
-            let consumed_later = program.exprs()[r.end..]
-                .iter()
-                .any(|c| c.inputs.iter().any(|a| a.tensor == t));
+            let consumed_later =
+                program.exprs()[r.end..].iter().any(|c| c.inputs.iter().any(|a| a.tensor == t));
             if consumed_later || program.outputs().contains(&t) {
                 outs.push(t);
             }
@@ -184,18 +183,16 @@ pub fn run(
 ) -> Result<RunResult, PipelineError> {
     let mut env = TensorEnv::new();
     for (_, decl) in program.inputs() {
-        let t = inputs
-            .get(&decl.name)
-            .ok_or_else(|| PipelineError::MissingInput(decl.name.clone()))?;
+        let t =
+            inputs.get(&decl.name).ok_or_else(|| PipelineError::MissingInput(decl.name.clone()))?;
         env.insert(decl.name.clone(), t.clone());
     }
     let mut total = Stats::default();
     let mut per_region = Vec::new();
     for low in &compiled.lowered {
         for p in &low.permuted_inputs {
-            let base = env
-                .get(&p.base)
-                .ok_or_else(|| PipelineError::MissingInput(p.base.clone()))?;
+            let base =
+                env.get(&p.base).ok_or_else(|| PipelineError::MissingInput(p.base.clone()))?;
             let permuted = base.permute(&p.perm, base.format());
             env.insert(p.derived.clone(), permuted);
         }

@@ -112,8 +112,8 @@ impl std::fmt::Display for FusionTable {
         writeln!(f)?;
         for (ri, r) in self.rows.iter().enumerate() {
             write!(f, "{r:row_w$} ")?;
-            for ci in 0..self.columns.len() {
-                write!(f, "| {:w$} ", self.cells[ci][ri].to_string(), w = widths[ci])?;
+            for (col, w) in self.cells.iter().zip(&widths) {
+                write!(f, "| {:w$} ", col[ri].to_string(), w = w)?;
             }
             writeln!(f)?;
         }

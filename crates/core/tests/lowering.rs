@@ -14,8 +14,20 @@ fn spmm_chain() -> Program {
     let a = p.input("A", vec![8, 8], Format::csr());
     let x = p.input("X", vec![8, 6], Format::csr());
     let w = p.input("W", vec![6, 4], Format::dense(2));
-    let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t1 = p.contract(
+        "T1",
+        vec![i, j],
+        vec![(t0, vec![i, u]), (w, vec![u, j])],
+        vec![u],
+        Format::csr(),
+    );
     p.mark_output(t1);
     p
 }
@@ -29,7 +41,7 @@ fn factored_lowering_uses_spacc_per_contraction() {
     // Two contractions with non-innermost reductions: two sparse
     // accumulators (factored iteration), no plain inner Reduce.
     assert_eq!(hist.get("Spacc1"), Some(&2));
-    assert!(hist.get("Reduce").is_none());
+    assert!(!hist.contains_key("Reduce"));
     assert!(hist["LevelScanner"] >= 4);
     assert_eq!(hist["ValWriter"], 1);
     assert_eq!(hist["CrdWriter"], 2);
@@ -115,8 +127,20 @@ fn recomputation_scope_duplicates_iteration_under_consumer_rows() {
     let (i, k, u, k2) = (p.index("i"), p.index("k"), p.index("u"), p.index("k2"));
     let a = p.input("A", vec![8, 8], Format::csr());
     let x = p.input("X", vec![8, 4], Format::csr());
-    let x1 = p.contract("X1", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t = p.contract("T", vec![i, u], vec![(a, vec![i, k2]), (x1, vec![k2, u])], vec![k2], Format::csr());
+    let x1 = p.contract(
+        "X1",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t = p.contract(
+        "T",
+        vec![i, u],
+        vec![(a, vec![i, k2]), (x1, vec![k2, u])],
+        vec![k2],
+        Format::csr(),
+    );
     p.mark_output(t);
     let region = fuse_region(&p, 0..2).unwrap();
     assert!(!region.scopes[0].is_empty(), "producer nests under the consumer's row");
@@ -125,7 +149,7 @@ fn recomputation_scope_duplicates_iteration_under_consumer_rows() {
     // The recomputation shows structurally: a UnionLeft joins the streamed
     // intermediate against the consumer's scanner.
     let hist = low.graph.kind_histogram();
-    assert!(hist.get("UnionLeft").is_some());
+    assert!(hist.contains_key("UnionLeft"));
 }
 
 #[test]
@@ -133,21 +157,34 @@ fn view_duplication_clones_producer_chains() {
     // One intermediate consumed under two incompatible index maps forces a
     // cloned producer chain (GraphSAGE's X1 pattern).
     let mut p = Program::new();
-    let (i, k, u, k2, j, k3) = (
-        p.index("i"),
-        p.index("k"),
-        p.index("u"),
-        p.index("k2"),
-        p.index("j"),
-        p.index("k3"),
-    );
+    let (i, k, u, k2, j, k3) =
+        (p.index("i"), p.index("k"), p.index("u"), p.index("k2"), p.index("j"), p.index("k3"));
     let a = p.input("A", vec![8, 8], Format::csr());
     let x = p.input("X", vec![8, 4], Format::csr());
     let w = p.input("W", vec![4, 4], Format::dense(2));
-    let x1 = p.contract("X1", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t1 = p.contract("T1", vec![i, j], vec![(a, vec![i, k2]), (x1, vec![k2, j])], vec![k2], Format::csr());
-    let t2 = p.contract("T2", vec![i, j], vec![(x1, vec![i, k3]), (w, vec![k3, j])], vec![k3], Format::csr());
-    let s = p.binary("S", OpKind::Add, (t1, vec![i, j]), (t2, vec![i, j]), vec![i, j], Format::csr());
+    let x1 = p.contract(
+        "X1",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t1 = p.contract(
+        "T1",
+        vec![i, j],
+        vec![(a, vec![i, k2]), (x1, vec![k2, j])],
+        vec![k2],
+        Format::csr(),
+    );
+    let t2 = p.contract(
+        "T2",
+        vec![i, j],
+        vec![(x1, vec![i, k3]), (w, vec![k3, j])],
+        vec![k3],
+        Format::csr(),
+    );
+    let s =
+        p.binary("S", OpKind::Add, (t1, vec![i, j]), (t2, vec![i, j]), vec![i, j], Format::csr());
     p.mark_output(s);
     let region = fuse_region(&p, 0..4).unwrap();
     assert!(!region.clone_of.is_empty(), "X1's second view needs a cloned chain");
@@ -160,7 +197,8 @@ fn pog_edges_come_from_formats_and_schedules() {
     let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
     let a = p.input("A", vec![4, 4], Format::csr());
     let b = p.input("B", vec![4, 4], Format::csr());
-    let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (b, vec![k, j])], vec![k], Format::csr());
+    let t =
+        p.contract("T", vec![i, j], vec![(a, vec![i, k]), (b, vec![k, j])], vec![k], Format::csr());
     p.set_dataflow(vec![i, k, j]);
     p.mark_output(t);
     let region = fuse_region(&p, 0..1).unwrap();

@@ -25,11 +25,41 @@ pub struct GraphDataset {
 
 /// The five graph datasets (Cora, Cora_ML, DBLP, OGB-Collab, OGB-MAG).
 pub const GRAPH_DATASETS: [GraphDataset; 5] = [
-    GraphDataset { name: "cora", nodes: 192, feats: 64, density: 0.016, pattern: gen::GraphPattern::PowerLaw },
-    GraphDataset { name: "cora_ml", nodes: 208, feats: 56, density: 0.015, pattern: gen::GraphPattern::PowerLaw },
-    GraphDataset { name: "dblp", nodes: 256, feats: 48, density: 0.012, pattern: gen::GraphPattern::PowerLaw },
-    GraphDataset { name: "collab", nodes: 320, feats: 32, density: 0.008, pattern: gen::GraphPattern::PowerLaw },
-    GraphDataset { name: "mag", nodes: 384, feats: 32, density: 0.006, pattern: gen::GraphPattern::PowerLaw },
+    GraphDataset {
+        name: "cora",
+        nodes: 192,
+        feats: 64,
+        density: 0.016,
+        pattern: gen::GraphPattern::PowerLaw,
+    },
+    GraphDataset {
+        name: "cora_ml",
+        nodes: 208,
+        feats: 56,
+        density: 0.015,
+        pattern: gen::GraphPattern::PowerLaw,
+    },
+    GraphDataset {
+        name: "dblp",
+        nodes: 256,
+        feats: 48,
+        density: 0.012,
+        pattern: gen::GraphPattern::PowerLaw,
+    },
+    GraphDataset {
+        name: "collab",
+        nodes: 320,
+        feats: 32,
+        density: 0.008,
+        pattern: gen::GraphPattern::PowerLaw,
+    },
+    GraphDataset {
+        name: "mag",
+        nodes: 384,
+        feats: 32,
+        density: 0.006,
+        pattern: gen::GraphPattern::PowerLaw,
+    },
 ];
 
 /// SAE image datasets: (name, flattened input size, batch) — scaled from

@@ -25,22 +25,62 @@ pub fn gcn(ds: &GraphDataset, hidden: usize, classes: usize, seed: u64) -> Model
 
     // Layer 1: Adj1 -> Lin mm1 -> Lin bias1 -> ReLU.
     let (i, k1, u1, j1) = (ix(&mut p, "i"), ix(&mut p, "k1"), ix(&mut p, "u1"), ix(&mut p, "j1"));
-    let t0 = p.contract("T0", vec![i, u1], vec![(a_t, vec![i, k1]), (x_t, vec![k1, u1])], vec![k1], Format::csr());
-    let l1 = p.contract("L1", vec![i, j1], vec![(t0, vec![i, u1]), (w1_t, vec![u1, j1])], vec![u1], Format::csr());
-    let z1 = p.binary("Z1", OpKind::Add, (l1, vec![i, j1]), (b1_t, vec![j1]), vec![i, j1], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, u1],
+        vec![(a_t, vec![i, k1]), (x_t, vec![k1, u1])],
+        vec![k1],
+        Format::csr(),
+    );
+    let l1 = p.contract(
+        "L1",
+        vec![i, j1],
+        vec![(t0, vec![i, u1]), (w1_t, vec![u1, j1])],
+        vec![u1],
+        Format::csr(),
+    );
+    let z1 = p.binary(
+        "Z1",
+        OpKind::Add,
+        (l1, vec![i, j1]),
+        (b1_t, vec![j1]),
+        vec![i, j1],
+        Format::csr(),
+    );
     let x1 = p.map("X1", AluOp::Relu, (z1, vec![i, j1]), Format::csr());
 
     // Layer 2: Adj2 -> Lin mm2 -> Lin bias2 -> Softmax (4 kernels).
     let (k2, u2, j2) = (ix(&mut p, "k2"), ix(&mut p, "u2"), ix(&mut p, "j2"));
-    let t1 = p.contract("T1", vec![i, u2], vec![(a_t, vec![i, k2]), (x1, vec![k2, u2])], vec![k2], Format::csr());
+    let t1 = p.contract(
+        "T1",
+        vec![i, u2],
+        vec![(a_t, vec![i, k2]), (x1, vec![k2, u2])],
+        vec![k2],
+        Format::csr(),
+    );
     let _ = t1;
-    let l2 = p.contract("L2", vec![i, j2], vec![(t1, vec![i, u2]), (w2_t, vec![u2, j2])], vec![u2], Format::csr());
-    let z2 = p.binary("Z2", OpKind::Add, (l2, vec![i, j2]), (b2_t, vec![j2]), vec![i, j2], Format::csr());
+    let l2 = p.contract(
+        "L2",
+        vec![i, j2],
+        vec![(t1, vec![i, u2]), (w2_t, vec![u2, j2])],
+        vec![u2],
+        Format::csr(),
+    );
+    let z2 = p.binary(
+        "Z2",
+        OpKind::Add,
+        (l2, vec![i, j2]),
+        (b2_t, vec![j2]),
+        vec![i, j2],
+        Format::csr(),
+    );
     let m = p.reduce("M", (z2, vec![i, j2]), vec![j2], ReduceOp::Max, Format::dense_vec());
-    let sh = p.binary("Sh", OpKind::Sub, (z2, vec![i, j2]), (m, vec![i]), vec![i, j2], Format::csr());
+    let sh =
+        p.binary("Sh", OpKind::Sub, (z2, vec![i, j2]), (m, vec![i]), vec![i, j2], Format::csr());
     let e = p.map("E", AluOp::Exp, (sh, vec![i, j2]), Format::csr());
     let d = p.reduce("D", (e, vec![i, j2]), vec![j2], ReduceOp::Sum, Format::dense_vec());
-    let out = p.binary("Out", OpKind::Div, (e, vec![i, j2]), (d, vec![i]), vec![i, j2], Format::csr());
+    let out =
+        p.binary("Out", OpKind::Div, (e, vec![i, j2]), (d, vec![i]), vec![i, j2], Format::csr());
     p.mark_output(out);
 
     let mut inputs = HashMap::new();
@@ -68,7 +108,10 @@ pub(crate) fn dense(r: usize, c: usize, seed: u64) -> SparseTensor {
 }
 
 pub(crate) fn dense_vec(n: usize, seed: u64) -> SparseTensor {
-    SparseTensor::from_dense(&gen::dense_features(1, n, seed).reshape(vec![n]), &Format::dense_vec())
+    SparseTensor::from_dense(
+        &gen::dense_features(1, n, seed).reshape(vec![n]),
+        &Format::dense_vec(),
+    )
 }
 
 #[cfg(test)]

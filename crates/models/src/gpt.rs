@@ -27,10 +27,8 @@ fn scalar_mask(seq: usize, block: usize, kept: &[(Crd, Crd)]) -> SparseTensor {
     for &(r, c) in kept {
         for br in 0..block {
             for bc in 0..block {
-                entries.push((
-                    vec![r * block as Crd + br as Crd, c * block as Crd + bc as Crd],
-                    1.0,
-                ));
+                entries
+                    .push((vec![r * block as Crd + br as Crd, c * block as Crd + bc as Crd], 1.0));
             }
         }
     }
@@ -47,15 +45,36 @@ pub fn gpt_attention(seq: usize, d_head: usize, block: usize, seed: u64) -> Mode
     let m_t = p.input("Mask", vec![seq, seq], Format::csr());
 
     let (i, j, kx, l) = (p.index("i"), p.index("j"), p.index("k"), p.index("l"));
-    let s = p.contract("S", vec![i, j], vec![(q_t, vec![i, kx]), (k_t, vec![j, kx])], vec![kx], Format::dense(2));
-    let sm = p.binary("Sm", OpKind::MulElem, (s, vec![i, j]), (m_t, vec![i, j]), vec![i, j], Format::csr());
-    let sc = p.map("Sc", AluOp::Scale(1.0 / (d_head as f32).sqrt()), (sm, vec![i, j]), Format::csr());
+    let s = p.contract(
+        "S",
+        vec![i, j],
+        vec![(q_t, vec![i, kx]), (k_t, vec![j, kx])],
+        vec![kx],
+        Format::dense(2),
+    );
+    let sm = p.binary(
+        "Sm",
+        OpKind::MulElem,
+        (s, vec![i, j]),
+        (m_t, vec![i, j]),
+        vec![i, j],
+        Format::csr(),
+    );
+    let sc =
+        p.map("Sc", AluOp::Scale(1.0 / (d_head as f32).sqrt()), (sm, vec![i, j]), Format::csr());
     let mx = p.reduce("Mx", (sc, vec![i, j]), vec![j], ReduceOp::Max, Format::dense_vec());
-    let sh = p.binary("Sh", OpKind::Sub, (sc, vec![i, j]), (mx, vec![i]), vec![i, j], Format::csr());
+    let sh =
+        p.binary("Sh", OpKind::Sub, (sc, vec![i, j]), (mx, vec![i]), vec![i, j], Format::csr());
     let e = p.map("E", AluOp::Exp, (sh, vec![i, j]), Format::csr());
     let dn = p.reduce("Dn", (e, vec![i, j]), vec![j], ReduceOp::Sum, Format::dense_vec());
     let pr = p.binary("P", OpKind::Div, (e, vec![i, j]), (dn, vec![i]), vec![i, j], Format::csr());
-    let o = p.contract("O", vec![i, l], vec![(pr, vec![i, j]), (v_t, vec![j, l])], vec![j], Format::csr());
+    let o = p.contract(
+        "O",
+        vec![i, l],
+        vec![(pr, vec![i, j]), (v_t, vec![j, l])],
+        vec![j],
+        Format::csr(),
+    );
     p.mark_output(o);
 
     let kept = gen::bigbird_block_mask(seq, block, 2, 1, 1, seed);
@@ -176,32 +195,97 @@ pub fn gpt_decoder(seq: usize, d_model: usize, block: usize, seed: u64) -> Model
     let wf2 = p.input("Wf2", vec![2 * d_model, d_model], Format::dense(2));
 
     // Subset 1: projections.
-    let (i, c1, c2, c3, dk) = (p.index("i"), p.index("c1"), p.index("c2"), p.index("c3"), p.index("dk"));
-    let q = p.contract("Q", vec![i, dk], vec![(x_t, vec![i, c1]), (wq, vec![c1, dk])], vec![c1], Format::dense(2));
+    let (i, c1, c2, c3, dk) =
+        (p.index("i"), p.index("c1"), p.index("c2"), p.index("c3"), p.index("dk"));
+    let q = p.contract(
+        "Q",
+        vec![i, dk],
+        vec![(x_t, vec![i, c1]), (wq, vec![c1, dk])],
+        vec![c1],
+        Format::dense(2),
+    );
     let (jj,) = (p.index("j"),);
-    let k = p.contract("K", vec![jj, dk], vec![(x_t, vec![jj, c2]), (wk, vec![c2, dk])], vec![c2], Format::dense(2));
-    let v = p.contract("V", vec![jj, dk], vec![(x_t, vec![jj, c3]), (wv, vec![c3, dk])], vec![c3], Format::dense(2));
+    let k = p.contract(
+        "K",
+        vec![jj, dk],
+        vec![(x_t, vec![jj, c2]), (wk, vec![c2, dk])],
+        vec![c2],
+        Format::dense(2),
+    );
+    let v = p.contract(
+        "V",
+        vec![jj, dk],
+        vec![(x_t, vec![jj, c3]), (wv, vec![c3, dk])],
+        vec![c3],
+        Format::dense(2),
+    );
 
     // Subset 2: attention (after the reshape barrier).
     let (i2, j2, k2, l2) = (p.index("i2"), p.index("j2"), p.index("k2"), p.index("l2"));
-    let s = p.contract("S", vec![i2, j2], vec![(q, vec![i2, k2]), (k, vec![j2, k2])], vec![k2], Format::dense(2));
-    let sm = p.binary("Smask", OpKind::MulElem, (s, vec![i2, j2]), (m_t, vec![i2, j2]), vec![i2, j2], Format::csr());
-    let sc = p.map("Sc", AluOp::Scale(1.0 / (d_model as f32).sqrt()), (sm, vec![i2, j2]), Format::csr());
+    let s = p.contract(
+        "S",
+        vec![i2, j2],
+        vec![(q, vec![i2, k2]), (k, vec![j2, k2])],
+        vec![k2],
+        Format::dense(2),
+    );
+    let sm = p.binary(
+        "Smask",
+        OpKind::MulElem,
+        (s, vec![i2, j2]),
+        (m_t, vec![i2, j2]),
+        vec![i2, j2],
+        Format::csr(),
+    );
+    let sc =
+        p.map("Sc", AluOp::Scale(1.0 / (d_model as f32).sqrt()), (sm, vec![i2, j2]), Format::csr());
     let mx = p.reduce("Mx", (sc, vec![i2, j2]), vec![j2], ReduceOp::Max, Format::dense_vec());
-    let sh = p.binary("Sh", OpKind::Sub, (sc, vec![i2, j2]), (mx, vec![i2]), vec![i2, j2], Format::csr());
+    let sh = p.binary(
+        "Sh",
+        OpKind::Sub,
+        (sc, vec![i2, j2]),
+        (mx, vec![i2]),
+        vec![i2, j2],
+        Format::csr(),
+    );
     let e = p.map("Ex", AluOp::Exp, (sh, vec![i2, j2]), Format::csr());
     let dn = p.reduce("Dn", (e, vec![i2, j2]), vec![j2], ReduceOp::Sum, Format::dense_vec());
-    let pr = p.binary("P", OpKind::Div, (e, vec![i2, j2]), (dn, vec![i2]), vec![i2, j2], Format::csr());
-    let av = p.contract("AV", vec![i2, l2], vec![(pr, vec![i2, j2]), (v, vec![j2, l2])], vec![j2], Format::csr());
+    let pr =
+        p.binary("P", OpKind::Div, (e, vec![i2, j2]), (dn, vec![i2]), vec![i2, j2], Format::csr());
+    let av = p.contract(
+        "AV",
+        vec![i2, l2],
+        vec![(pr, vec![i2, j2]), (v, vec![j2, l2])],
+        vec![j2],
+        Format::csr(),
+    );
 
     // Subset 3: output projection + FFN (after the second reshape barrier).
     let (d1, f1x, d2) = (p.index("d1"), p.index("f1"), p.index("d2"));
-    let op_ = p.contract("OP", vec![i2, d1], vec![(av, vec![i2, f1x]), (wo, vec![f1x, d1])], vec![f1x], Format::dense(2));
+    let op_ = p.contract(
+        "OP",
+        vec![i2, d1],
+        vec![(av, vec![i2, f1x]), (wo, vec![f1x, d1])],
+        vec![f1x],
+        Format::dense(2),
+    );
     let (h1,) = (p.index("h1"),);
-    let f1 = p.contract("F1", vec![i2, h1], vec![(op_, vec![i2, d2]), (wf1, vec![d2, h1])], vec![d2], Format::dense(2));
+    let f1 = p.contract(
+        "F1",
+        vec![i2, h1],
+        vec![(op_, vec![i2, d2]), (wf1, vec![d2, h1])],
+        vec![d2],
+        Format::dense(2),
+    );
     let g = p.map("G", AluOp::Gelu, (f1, vec![i2, h1]), Format::dense(2));
     let (h2, d3) = (p.index("h2"), p.index("d3"));
-    let f2 = p.contract("F2", vec![i2, d3], vec![(g, vec![i2, h2]), (wf2, vec![h2, d3])], vec![h2], Format::dense(2));
+    let f2 = p.contract(
+        "F2",
+        vec![i2, d3],
+        vec![(g, vec![i2, h2]), (wf2, vec![h2, d3])],
+        vec![h2],
+        Format::dense(2),
+    );
     p.mark_output(f2);
 
     let kept = gen::bigbird_block_mask(seq, block, 2, 1, 1, seed);
@@ -295,7 +379,8 @@ mod tests {
         let cb = compile(&blocked.program, &blocked.schedule(Fusion::Full)).unwrap();
         let cu = compile(&unstructured.program, &unstructured.schedule(Fusion::Full)).unwrap();
         let rb = run(&blocked.program, &cb, &blocked.inputs, &SimConfig::default()).unwrap();
-        let ru = run(&unstructured.program, &cu, &unstructured.inputs, &SimConfig::default()).unwrap();
+        let ru =
+            run(&unstructured.program, &cu, &unstructured.inputs, &SimConfig::default()).unwrap();
         assert!(
             rb.stats.cycles < ru.stats.cycles,
             "blocked ({}) must beat unstructured ({})",

@@ -26,26 +26,80 @@ pub fn graphsage(ds: &GraphDataset, hidden: usize, classes: usize, seed: u64) ->
 
     // Layer 1 (7 kernels): Adj1, Lin mm1a(+bias fold), Lin mm1b, Add, ReLU.
     let (i, l1, m1, u1) = (p.index("i"), p.index("l1"), p.index("m1"), p.index("u1"));
-    let t0 = p.contract("T0", vec![i, m1], vec![(a_t, vec![i, l1]), (x_t, vec![l1, m1])], vec![l1], Format::csr());
-    let tn1 = p.contract("Tn1", vec![i, u1], vec![(t0, vec![i, m1]), (wn1, vec![m1, u1])], vec![m1], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, m1],
+        vec![(a_t, vec![i, l1]), (x_t, vec![l1, m1])],
+        vec![l1],
+        Format::csr(),
+    );
+    let tn1 = p.contract(
+        "Tn1",
+        vec![i, u1],
+        vec![(t0, vec![i, m1]), (wn1, vec![m1, u1])],
+        vec![m1],
+        Format::csr(),
+    );
     let (ks1,) = (p.index("ks1"),);
-    let ts1 = p.contract("Ts1", vec![i, u1], vec![(x_t, vec![i, ks1]), (ws1, vec![ks1, u1])], vec![ks1], Format::csr());
-    let s1 = p.binary("S1", OpKind::Add, (ts1, vec![i, u1]), (tn1, vec![i, u1]), vec![i, u1], Format::csr());
-    let s1b = p.binary("S1b", OpKind::Add, (s1, vec![i, u1]), (b1, vec![u1]), vec![i, u1], Format::csr());
+    let ts1 = p.contract(
+        "Ts1",
+        vec![i, u1],
+        vec![(x_t, vec![i, ks1]), (ws1, vec![ks1, u1])],
+        vec![ks1],
+        Format::csr(),
+    );
+    let s1 = p.binary(
+        "S1",
+        OpKind::Add,
+        (ts1, vec![i, u1]),
+        (tn1, vec![i, u1]),
+        vec![i, u1],
+        Format::csr(),
+    );
+    let s1b =
+        p.binary("S1b", OpKind::Add, (s1, vec![i, u1]), (b1, vec![u1]), vec![i, u1], Format::csr());
     let x1 = p.map("X1", AluOp::Relu, (s1b, vec![i, u1]), Format::csr());
 
     // Layer 2 (+ softmax tail).
     let (l2, m2, u2, ks2) = (p.index("l2"), p.index("m2"), p.index("u2"), p.index("ks2"));
-    let t1 = p.contract("T1", vec![i, m2], vec![(a_t, vec![i, l2]), (x1, vec![l2, m2])], vec![l2], Format::csr());
-    let tn2 = p.contract("Tn2", vec![i, u2], vec![(t1, vec![i, m2]), (wn2, vec![m2, u2])], vec![m2], Format::csr());
-    let ts2 = p.contract("Ts2", vec![i, u2], vec![(x1, vec![i, ks2]), (ws2, vec![ks2, u2])], vec![ks2], Format::csr());
-    let s2 = p.binary("S2", OpKind::Add, (ts2, vec![i, u2]), (tn2, vec![i, u2]), vec![i, u2], Format::csr());
-    let s2b = p.binary("S2b", OpKind::Add, (s2, vec![i, u2]), (b2, vec![u2]), vec![i, u2], Format::csr());
+    let t1 = p.contract(
+        "T1",
+        vec![i, m2],
+        vec![(a_t, vec![i, l2]), (x1, vec![l2, m2])],
+        vec![l2],
+        Format::csr(),
+    );
+    let tn2 = p.contract(
+        "Tn2",
+        vec![i, u2],
+        vec![(t1, vec![i, m2]), (wn2, vec![m2, u2])],
+        vec![m2],
+        Format::csr(),
+    );
+    let ts2 = p.contract(
+        "Ts2",
+        vec![i, u2],
+        vec![(x1, vec![i, ks2]), (ws2, vec![ks2, u2])],
+        vec![ks2],
+        Format::csr(),
+    );
+    let s2 = p.binary(
+        "S2",
+        OpKind::Add,
+        (ts2, vec![i, u2]),
+        (tn2, vec![i, u2]),
+        vec![i, u2],
+        Format::csr(),
+    );
+    let s2b =
+        p.binary("S2b", OpKind::Add, (s2, vec![i, u2]), (b2, vec![u2]), vec![i, u2], Format::csr());
     let mx = p.reduce("Mx", (s2b, vec![i, u2]), vec![u2], ReduceOp::Max, Format::dense_vec());
-    let sh = p.binary("Sh", OpKind::Sub, (s2b, vec![i, u2]), (mx, vec![i]), vec![i, u2], Format::csr());
+    let sh =
+        p.binary("Sh", OpKind::Sub, (s2b, vec![i, u2]), (mx, vec![i]), vec![i, u2], Format::csr());
     let e = p.map("E", AluOp::Exp, (sh, vec![i, u2]), Format::csr());
     let d = p.reduce("D", (e, vec![i, u2]), vec![u2], ReduceOp::Sum, Format::dense_vec());
-    let out = p.binary("Out", OpKind::Div, (e, vec![i, u2]), (d, vec![i]), vec![i, u2], Format::csr());
+    let out =
+        p.binary("Out", OpKind::Div, (e, vec![i, u2]), (d, vec![i]), vec![i, u2], Format::csr());
     p.mark_output(out);
 
     let mut inputs = HashMap::new();

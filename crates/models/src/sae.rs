@@ -12,7 +12,14 @@ use std::collections::HashMap;
 /// Builds the SAE on a flattened input of width `n_in` with `batch`
 /// images and hidden width `hidden`. Weights keep `keep` of their largest
 /// magnitudes (the paper prunes to 50%).
-pub fn sae(name: &str, n_in: usize, hidden: usize, batch: usize, keep: f64, seed: u64) -> ModelInstance {
+pub fn sae(
+    name: &str,
+    n_in: usize,
+    hidden: usize,
+    batch: usize,
+    keep: f64,
+    seed: u64,
+) -> ModelInstance {
     let mut p = Program::new();
     let w1_t = p.input("W1", vec![hidden, n_in], Format::csr());
     let x_t = p.input("Xin", vec![n_in, batch], Format::dense(2));
@@ -21,12 +28,26 @@ pub fn sae(name: &str, n_in: usize, hidden: usize, batch: usize, keep: f64, seed
     let b2_t = p.input("b2", vec![n_in], Format::dense_vec());
 
     let (h, k, b) = (p.index("h"), p.index("k"), p.index("b"));
-    let z1 = p.contract("Z1", vec![h, b], vec![(w1_t, vec![h, k]), (x_t, vec![k, b])], vec![k], Format::csr());
-    let z1b = p.binary("Z1b", OpKind::Add, (z1, vec![h, b]), (b1_t, vec![h]), vec![h, b], Format::csr());
+    let z1 = p.contract(
+        "Z1",
+        vec![h, b],
+        vec![(w1_t, vec![h, k]), (x_t, vec![k, b])],
+        vec![k],
+        Format::csr(),
+    );
+    let z1b =
+        p.binary("Z1b", OpKind::Add, (z1, vec![h, b]), (b1_t, vec![h]), vec![h, b], Format::csr());
     let hid = p.map("H", AluOp::Relu, (z1b, vec![h, b]), Format::csr());
     let (o, h2) = (p.index("o"), p.index("h2"));
-    let z2 = p.contract("Z2", vec![o, b], vec![(w2_t, vec![o, h2]), (hid, vec![h2, b])], vec![h2], Format::csr());
-    let z2b = p.binary("Z2b", OpKind::Add, (z2, vec![o, b]), (b2_t, vec![o]), vec![o, b], Format::csr());
+    let z2 = p.contract(
+        "Z2",
+        vec![o, b],
+        vec![(w2_t, vec![o, h2]), (hid, vec![h2, b])],
+        vec![h2],
+        Format::csr(),
+    );
+    let z2b =
+        p.binary("Z2b", OpKind::Add, (z2, vec![o, b]), (b2_t, vec![o]), vec![o, b], Format::csr());
     let out = p.map("Out", AluOp::Sigmoid, (z2b, vec![o, b]), Format::csr());
     p.mark_output(out);
 
@@ -42,7 +63,10 @@ pub fn sae(name: &str, n_in: usize, hidden: usize, batch: usize, keep: f64, seed
     inputs.insert("b1".to_string(), dense_vec(hidden, seed + 2));
     inputs.insert(
         "W2".to_string(),
-        SparseTensor::from_dense(&gen::pruned_weights(n_in, hidden, keep, seed + 3), &Format::csr()),
+        SparseTensor::from_dense(
+            &gen::pruned_weights(n_in, hidden, keep, seed + 3),
+            &Format::csr(),
+        ),
     );
     inputs.insert("b2".to_string(), dense_vec(n_in, seed + 4));
 

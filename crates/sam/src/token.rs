@@ -129,9 +129,7 @@ impl Block {
         Block::new(
             self.rows(),
             self.cols(),
-            (0..self.len())
-                .map(|i| f(self.data[i], col.data[i / self.cols as usize]))
-                .collect(),
+            (0..self.len()).map(|i| f(self.data[i], col.data[i / self.cols as usize])).collect(),
         )
     }
 }
@@ -312,7 +310,14 @@ mod tests {
 
     #[test]
     fn adjacent_stops_are_legal_empty_fibers() {
-        let s = vec![Token::idx(1), Token::Stop(0), Token::Stop(0), Token::idx(2), Token::Stop(1), Token::Done];
+        let s = vec![
+            Token::idx(1),
+            Token::Stop(0),
+            Token::Stop(0),
+            Token::idx(2),
+            Token::Stop(1),
+            Token::Done,
+        ];
         assert!(check_well_formed(&s, 1).is_ok());
     }
 }

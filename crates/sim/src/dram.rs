@@ -106,8 +106,8 @@ mod tests {
         let mut d = Dram::new(1000.0, 5, 50);
         let s = d.request(0, 4, AccessKind::Stream, false);
         let r = d.request(0, 4, AccessKind::Random, false);
-        assert!(s >= 5 && s < 10, "stream ready {s}");
-        assert!(r >= 50 && r < 60, "random ready {r}");
+        assert!((5..10).contains(&s), "stream ready {s}");
+        assert!((50..60).contains(&r), "random ready {r}");
     }
 
     #[test]

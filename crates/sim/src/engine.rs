@@ -13,9 +13,7 @@ use crate::dram::{AccessKind, Dram};
 use crate::rebuild::assemble_output;
 use crate::stats::Stats;
 use crate::TimingConfig;
-use fuseflow_sam::{
-    AluOp, Block, GraphError, MemLocation, NodeKind, Payload, SamGraph, Token,
-};
+use fuseflow_sam::{AluOp, Block, GraphError, MemLocation, NodeKind, Payload, SamGraph, Token};
 use fuseflow_tensor::{Level, SparseTensor};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -102,7 +100,9 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Validation(e) => write!(f, "graph validation failed: {e}"),
             SimError::MissingTensor(n) => write!(f, "no binding for tensor '{n}'"),
-            SimError::Deadlock { cycle, detail } => write!(f, "deadlock at cycle {cycle}: {detail}"),
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
             SimError::MaxCycles(c) => write!(f, "exceeded cycle budget of {c}"),
             SimError::Rebuild(m) => write!(f, "output reconstruction failed: {m}"),
             SimError::Semantics(m) => write!(f, "stream semantics violated: {m}"),
@@ -198,9 +198,7 @@ struct Rt {
 
 impl Rt {
     fn finished(&self) -> bool {
-        self.done
-            && self.out_q.iter().all(|q| q.is_empty())
-            && self.pending_mem.is_empty()
+        self.done && self.out_q.iter().all(|q| q.is_empty()) && self.pending_mem.is_empty()
     }
 }
 
@@ -274,7 +272,13 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
                 }
             }
         }
-        nodes.push(make_rt(kind.clone(), graph.label(fuseflow_sam::NodeId(i)).to_string(), in_chans, out_chans, &cfg.timing));
+        nodes.push(make_rt(
+            kind.clone(),
+            graph.label(fuseflow_sam::NodeId(i)).to_string(),
+            in_chans,
+            out_chans,
+            &cfg.timing,
+        ));
     }
 
     let order: Vec<usize> = graph
@@ -336,9 +340,15 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
         let crd_streams: Vec<Vec<Token>> = crd_streams
             .into_iter()
             .enumerate()
-            .map(|(l, s)| s.ok_or(SimError::Rebuild(format!("output '{}' missing level {l} writer", slot.name))))
+            .map(|(l, s)| {
+                s.ok_or(SimError::Rebuild(format!(
+                    "output '{}' missing level {l} writer",
+                    slot.name
+                )))
+            })
             .collect::<Result<_, _>>()?;
-        let vals = vals.ok_or(SimError::Rebuild(format!("output '{}' missing value writer", slot.name)))?;
+        let vals =
+            vals.ok_or(SimError::Rebuild(format!("output '{}' missing value writer", slot.name)))?;
         let t = assemble_output(slot, &crd_streams, &vals).map_err(SimError::Rebuild)?;
         outputs.insert(slot.name.clone(), t);
     }
@@ -362,7 +372,9 @@ fn make_rt(
         NodeKind::Alu { .. } => State::Alu,
         NodeKind::Reduce { .. } => State::Reduce { acc: None },
         NodeKind::Spacc1 { .. } => State::Spacc { map: BTreeMap::new() },
-        NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => State::Writer { tokens: Vec::new() },
+        NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => {
+            State::Writer { tokens: Vec::new() }
+        }
         NodeKind::CrdDrop => State::CrdDrop { done0: false, done1: false },
         NodeKind::Parallelizer { .. } => State::Par { rr: 0 },
         NodeKind::Serializer { .. } => State::Ser(SerState::default()),
@@ -636,7 +648,8 @@ impl<'a> Engine<'a> {
                     // pos-array read for the fiber bounds.
                     let _ = self.dram.request(self.now, 8, AccessKind::Stream, false);
                 }
-                let fiber: Vec<(u32, usize)> = self.tensors[tensor].level(level).fiber(r as usize).collect();
+                let fiber: Vec<(u32, usize)> =
+                    self.tensors[tensor].level(level).fiber(r as usize).collect();
                 let State::Scan(s) = &mut self.nodes[i].state else { unreachable!() };
                 s.fiber = fiber;
                 s.fidx = 0;
@@ -674,7 +687,8 @@ impl<'a> Engine<'a> {
         let rep_head = rep_head.clone();
         match rep_head {
             Token::Elem(_) => {
-                let loaded = matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
+                let loaded =
+                    matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
                 if !loaded {
                     let Some(base) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
                     match base {
@@ -700,7 +714,8 @@ impl<'a> Engine<'a> {
                 // Close the pairing: discard the base element for this rep
                 // fiber (it may be unloaded if the fiber was empty), then
                 // consume the aligned base stop for k >= 1.
-                let loaded = matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
+                let loaded =
+                    matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
                 let mut base_idx = 0usize;
                 if !loaded {
                     match self.peek_at(&self.nodes[i], 0, base_idx) {
@@ -765,7 +780,8 @@ impl<'a> Engine<'a> {
     }
 
     fn act_join(&mut self, i: usize, mode: JoinMode) -> Result<bool, SimError> {
-        let (Some(a), Some(b)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 2)) else {
+        let (Some(a), Some(b)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 2))
+        else {
             return Ok(false);
         };
         let (a, b) = (a.clone(), b.clone());
@@ -1097,7 +1113,8 @@ impl<'a> Engine<'a> {
                         self.flops += 1;
                         Payload::F(op.apply(a, b))
                     }
-                    (Some(Payload::F(a)), Payload::Empty) | (Some(Payload::Empty), Payload::F(a)) => {
+                    (Some(Payload::F(a)), Payload::Empty)
+                    | (Some(Payload::Empty), Payload::F(a)) => {
                         Payload::F(op.apply(a, op.identity()))
                     }
                     (Some(Payload::Blk(a)), Payload::Blk(b)) => {
@@ -1131,7 +1148,8 @@ impl<'a> Engine<'a> {
 
     fn act_spacc(&mut self, i: usize) -> Result<bool, SimError> {
         let NodeKind::Spacc1 { op } = self.nodes[i].kind else { unreachable!() };
-        let (Some(c), Some(v)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 1)) else {
+        let (Some(c), Some(v)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 1))
+        else {
             return Ok(false);
         };
         let (c, v) = (c.clone(), v.clone());
@@ -1364,9 +1382,7 @@ impl<'a> Engine<'a> {
                     st.cur = (st.cur + 1) % factor;
                 }
                 Token::Done => {
-                    return Err(SimError::Semantics(
-                        "serializer branch finished mid-unit".into(),
-                    ))
+                    return Err(SimError::Semantics("serializer branch finished mid-unit".into()))
                 }
             }
             return Ok(true);

@@ -220,7 +220,8 @@ mod tests {
         };
         let crd0 = vec![idx(0), idx(1), Token::Stop(0), Token::Done];
         let crd1 = vec![idx(1), Token::Stop(0), idx(2), Token::Stop(1), Token::Done];
-        let vals = vec![Token::val(7.0), Token::Stop(0), Token::val(8.0), Token::Stop(1), Token::Done];
+        let vals =
+            vec![Token::val(7.0), Token::Stop(0), Token::val(8.0), Token::Stop(1), Token::Done];
         let t = assemble_output(&slot, &[crd0, crd1], &vals).unwrap();
         assert_eq!(t.to_dense().get(&[0, 1]), 7.0);
         assert_eq!(t.to_dense().get(&[1, 2]), 8.0);

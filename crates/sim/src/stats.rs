@@ -69,9 +69,21 @@ mod tests {
 
     #[test]
     fn accumulate_sums() {
-        let mut a = Stats { cycles: 10, dram_read_bytes: 100, dram_write_bytes: 50, flops: 7, ..Default::default() };
+        let mut a = Stats {
+            cycles: 10,
+            dram_read_bytes: 100,
+            dram_write_bytes: 50,
+            flops: 7,
+            ..Default::default()
+        };
         a.node_tokens.insert("x".into(), 3);
-        let mut b = Stats { cycles: 5, dram_read_bytes: 1, dram_write_bytes: 2, flops: 3, ..Default::default() };
+        let mut b = Stats {
+            cycles: 5,
+            dram_read_bytes: 1,
+            dram_write_bytes: 2,
+            flops: 3,
+            ..Default::default()
+        };
         b.node_tokens.insert("x".into(), 4);
         b.node_tokens.insert("y".into(), 1);
         a.accumulate(&b);
@@ -84,7 +96,8 @@ mod tests {
 
     #[test]
     fn operational_intensity() {
-        let s = Stats { flops: 100, dram_read_bytes: 40, dram_write_bytes: 10, ..Default::default() };
+        let s =
+            Stats { flops: 100, dram_read_bytes: 40, dram_write_bytes: 10, ..Default::default() };
         assert!((s.operational_intensity() - 2.0).abs() < 1e-12);
         let none = Stats::default();
         assert!(none.operational_intensity().is_infinite());

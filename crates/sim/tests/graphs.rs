@@ -302,11 +302,7 @@ fn parallel_spmm_matches_serial() {
         let env = env2(("A", a.clone()), ("X", x.clone()));
         let res = simulate(&g, &env, &SimConfig::default()).unwrap();
         let got = res.outputs["T"].to_dense();
-        assert!(
-            got.approx_eq(&expect),
-            "factor {factor}: max diff {}",
-            got.max_abs_diff(&expect)
-        );
+        assert!(got.approx_eq(&expect), "factor {factor}: max diff {}", got.max_abs_diff(&expect));
         if factor == 1 {
             serial_cycles = res.stats.cycles;
         } else {
@@ -330,10 +326,8 @@ fn fpga_backend_runs_and_differs() {
     let env = env2(("A", a), ("X", x));
 
     let comal = simulate(&g, &env, &SimConfig::default()).unwrap();
-    let fpga_cfg = SimConfig {
-        timing: fuseflow_sim::TimingConfig::fpga_rtl(),
-        ..SimConfig::default()
-    };
+    let fpga_cfg =
+        SimConfig { timing: fuseflow_sim::TimingConfig::fpga_rtl(), ..SimConfig::default() };
     let fpga = simulate(&g, &env, &fpga_cfg).unwrap();
     assert!(comal.outputs["T"].to_dense().approx_eq(&expect));
     assert!(fpga.outputs["T"].to_dense().approx_eq(&expect));

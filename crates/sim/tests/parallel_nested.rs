@@ -31,10 +31,7 @@ fn serializer_depth2_merges_two_level_units() {
     )
     .unwrap();
     // The last unit's fiber boundary coalesces into the global stop.
-    assert_eq!(
-        out[0],
-        vec![val(1.0), s(0), val(2.0), s(1), val(3.0), val(4.0), s(2), Token::Done]
-    );
+    assert_eq!(out[0], vec![val(1.0), s(0), val(2.0), s(1), val(3.0), val(4.0), s(2), Token::Done]);
 }
 
 #[test]
@@ -55,12 +52,8 @@ fn blocked_reduce_accumulates_tiles_elementwise() {
 fn spacc_max_takes_elementwise_maximum() {
     let crd = vec![idx(0), s(0), idx(0), s(1), Token::Done];
     let vals = vec![val(3.0), s(0), val(7.0), s(1), Token::Done];
-    let out = run_node_standalone(
-        NodeKind::Spacc1 { op: ReduceOp::Max },
-        vec![crd, vals],
-        vec![],
-    )
-    .unwrap();
+    let out = run_node_standalone(NodeKind::Spacc1 { op: ReduceOp::Max }, vec![crd, vals], vec![])
+        .unwrap();
     assert_eq!(out[1], vec![val(7.0), s(0), Token::Done]);
 }
 
@@ -68,12 +61,9 @@ fn spacc_max_takes_elementwise_maximum() {
 fn scanner_streams_are_well_formed() {
     let d = gen::sparse_features(10, 10, 0.3, 5, &Format::csr());
     let refs = vec![idx(0), idx(3), idx(7), s(0), Token::Done];
-    let out = run_node_standalone(
-        NodeKind::LevelScanner { tensor: 0, level: 1 },
-        vec![refs],
-        vec![d],
-    )
-    .unwrap();
+    let out =
+        run_node_standalone(NodeKind::LevelScanner { tensor: 0, level: 1 }, vec![refs], vec![d])
+            .unwrap();
     check_well_formed(&out[0], 1).unwrap();
     check_well_formed(&out[1], 1).unwrap();
 }

@@ -28,10 +28,8 @@ fn root_emits_reference_and_done() {
 #[test]
 fn scanner_csr_outer_level() {
     // 3x4 matrix with rows {0: [0,2], 1: [], 2: [3]} in CSR.
-    let dense = DenseTensor::from_vec(
-        vec![3, 4],
-        vec![1., 0., 2., 0., 0., 0., 0., 0., 0., 0., 0., 3.],
-    );
+    let dense =
+        DenseTensor::from_vec(vec![3, 4], vec![1., 0., 2., 0., 0., 0., 0., 0., 0., 0., 0., 3.]);
     let t = SparseTensor::from_dense(&dense, &Format::csr());
     // Dense outer level scanned from root.
     let out = run_node_standalone(
@@ -46,18 +44,13 @@ fn scanner_csr_outer_level() {
 
 #[test]
 fn scanner_csr_inner_level_nests_stops() {
-    let dense = DenseTensor::from_vec(
-        vec![3, 4],
-        vec![1., 0., 2., 0., 0., 0., 0., 0., 0., 0., 0., 3.],
-    );
+    let dense =
+        DenseTensor::from_vec(vec![3, 4], vec![1., 0., 2., 0., 0., 0., 0., 0., 0., 0., 0., 3.]);
     let t = SparseTensor::from_dense(&dense, &Format::csr());
     let refs = vec![idx(0), idx(1), idx(2), s(0), D];
-    let out = run_node_standalone(
-        NodeKind::LevelScanner { tensor: 0, level: 1 },
-        vec![refs],
-        vec![t],
-    )
-    .unwrap();
+    let out =
+        run_node_standalone(NodeKind::LevelScanner { tensor: 0, level: 1 }, vec![refs], vec![t])
+            .unwrap();
     // Row 1 is empty: bare stop (adjacent stops convention).
     assert_eq!(out[0], vec![idx(0), idx(2), s(0), s(0), idx(3), s(1), D]);
     // References address the stored positions 0..3.
@@ -68,18 +61,10 @@ fn scanner_csr_inner_level_nests_stops() {
 fn scanner_forwards_empty_payloads_as_empty_fibers() {
     let dense = DenseTensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
     let t = SparseTensor::from_dense(&dense, &Format::csr());
-    let refs = vec![
-        Token::Elem(Payload::Empty),
-        idx(1),
-        s(0),
-        D,
-    ];
-    let out = run_node_standalone(
-        NodeKind::LevelScanner { tensor: 0, level: 1 },
-        vec![refs],
-        vec![t],
-    )
-    .unwrap();
+    let refs = vec![Token::Elem(Payload::Empty), idx(1), s(0), D];
+    let out =
+        run_node_standalone(NodeKind::LevelScanner { tensor: 0, level: 1 }, vec![refs], vec![t])
+            .unwrap();
     assert_eq!(out[0], vec![s(0), idx(0), idx(1), s(1), D]);
 }
 
@@ -98,10 +83,7 @@ fn repeat_values_across_inner_fibers() {
     let base = vec![val(10.0), val(20.0), s(0), val(30.0), s(1), D];
     let rep = vec![idx(0), idx(1), s(0), idx(2), s(1), idx(0), s(2), D];
     let out = run_node_standalone(NodeKind::Repeat, vec![base, rep], vec![]).unwrap();
-    assert_eq!(
-        out[0],
-        vec![val(10.0), val(10.0), s(0), val(20.0), s(1), val(30.0), s(2), D]
-    );
+    assert_eq!(out[0], vec![val(10.0), val(10.0), s(0), val(20.0), s(1), val(30.0), s(2), D]);
 }
 
 #[test]
@@ -118,8 +100,7 @@ fn intersect_matches_coordinates() {
     let pa = vec![idx(10), idx(12), idx(15), s(0), D];
     let cb = vec![idx(2), idx(3), idx(5), s(0), D];
     let pb = vec![idx(22), idx(23), idx(25), s(0), D];
-    let out =
-        run_node_standalone(NodeKind::Intersect, vec![ca, pa, cb, pb], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Intersect, vec![ca, pa, cb, pb], vec![]).unwrap();
     assert_eq!(out[0], vec![idx(2), idx(5), s(0), D]);
     assert_eq!(out[1], vec![idx(12), idx(15), s(0), D]);
     assert_eq!(out[2], vec![idx(22), idx(25), s(0), D]);
@@ -131,8 +112,7 @@ fn intersect_handles_disjoint_fibers() {
     let pa = vec![idx(0), s(0), idx(1), s(1), D];
     let cb = vec![idx(1), s(0), idx(1), s(1), D];
     let pb = vec![idx(9), s(0), idx(9), s(1), D];
-    let out =
-        run_node_standalone(NodeKind::Intersect, vec![ca, pa, cb, pb], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Intersect, vec![ca, pa, cb, pb], vec![]).unwrap();
     assert_eq!(out[0], vec![s(0), idx(1), s(1), D]);
 }
 
@@ -144,14 +124,8 @@ fn union_emits_empty_placeholders() {
     let pb = vec![idx(21), idx(22), s(0), D];
     let out = run_node_standalone(NodeKind::Union, vec![ca, pa, cb, pb], vec![]).unwrap();
     assert_eq!(out[0], vec![idx(0), idx(1), idx(2), s(0), D]);
-    assert_eq!(
-        out[1],
-        vec![idx(10), Token::Elem(Payload::Empty), idx(12), s(0), D]
-    );
-    assert_eq!(
-        out[2],
-        vec![Token::Elem(Payload::Empty), idx(21), idx(22), s(0), D]
-    );
+    assert_eq!(out[1], vec![idx(10), Token::Elem(Payload::Empty), idx(12), s(0), D]);
+    assert_eq!(out[2], vec![Token::Elem(Payload::Empty), idx(21), idx(22), s(0), D]);
 }
 
 #[test]
@@ -168,8 +142,7 @@ fn union_drains_longer_side_after_stop() {
 fn alu_binary_add() {
     let a = vec![val(1.0), val(2.0), s(0), D];
     let b = vec![val(10.0), val(20.0), s(0), D];
-    let out =
-        run_node_standalone(NodeKind::Alu { op: AluOp::Add }, vec![a, b], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Alu { op: AluOp::Add }, vec![a, b], vec![]).unwrap();
     assert_eq!(out[0], vec![val(11.0), val(22.0), s(0), D]);
 }
 
@@ -177,40 +150,35 @@ fn alu_binary_add() {
 fn alu_add_treats_empty_as_zero() {
     let a = vec![Token::Elem(Payload::Empty), val(2.0), s(0), D];
     let b = vec![val(10.0), Token::Elem(Payload::Empty), s(0), D];
-    let out =
-        run_node_standalone(NodeKind::Alu { op: AluOp::Add }, vec![a, b], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Alu { op: AluOp::Add }, vec![a, b], vec![]).unwrap();
     assert_eq!(out[0], vec![val(10.0), val(2.0), s(0), D]);
 }
 
 #[test]
 fn alu_unary_relu() {
     let a = vec![val(-1.0), val(3.0), s(0), D];
-    let out =
-        run_node_standalone(NodeKind::Alu { op: AluOp::Relu }, vec![a], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Alu { op: AluOp::Relu }, vec![a], vec![]).unwrap();
     assert_eq!(out[0], vec![val(0.0), val(3.0), s(0), D]);
 }
 
 #[test]
 fn reduce_sums_inner_fibers() {
     let v = vec![val(1.0), val(2.0), s(0), val(5.0), s(1), D];
-    let out =
-        run_node_standalone(NodeKind::Reduce { op: ReduceOp::Sum }, vec![v], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Reduce { op: ReduceOp::Sum }, vec![v], vec![]).unwrap();
     assert_eq!(out[0], vec![val(3.0), val(5.0), s(0), D]);
 }
 
 #[test]
 fn reduce_emits_identity_for_empty_fiber() {
     let v = vec![s(0), val(4.0), s(1), D];
-    let out =
-        run_node_standalone(NodeKind::Reduce { op: ReduceOp::Sum }, vec![v], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Reduce { op: ReduceOp::Sum }, vec![v], vec![]).unwrap();
     assert_eq!(out[0], vec![val(0.0), val(4.0), s(0), D]);
 }
 
 #[test]
 fn reduce_max() {
     let v = vec![val(1.0), val(7.0), val(3.0), s(1), D];
-    let out =
-        run_node_standalone(NodeKind::Reduce { op: ReduceOp::Max }, vec![v], vec![]).unwrap();
+    let out = run_node_standalone(NodeKind::Reduce { op: ReduceOp::Max }, vec![v], vec![]).unwrap();
     assert_eq!(out[0], vec![val(7.0), s(0), D]);
 }
 
@@ -219,12 +187,8 @@ fn spacc_accumulates_across_inner_boundaries() {
     // Two k-fibers for i0: {j0: 1, j2: 2} then {j0: 10, j1: 20}; one for i1.
     let crd = vec![idx(0), idx(2), s(0), idx(0), idx(1), s(1), idx(3), s(2), D];
     let vals = vec![val(1.), val(2.), s(0), val(10.), val(20.), s(1), val(3.), s(2), D];
-    let out = run_node_standalone(
-        NodeKind::Spacc1 { op: ReduceOp::Sum },
-        vec![crd, vals],
-        vec![],
-    )
-    .unwrap();
+    let out = run_node_standalone(NodeKind::Spacc1 { op: ReduceOp::Sum }, vec![crd, vals], vec![])
+        .unwrap();
     assert_eq!(out[0], vec![idx(0), idx(1), idx(2), s(0), idx(3), s(1), D]);
     assert_eq!(out[1], vec![val(11.0), val(20.0), val(2.0), s(0), val(3.0), s(1), D]);
 }
@@ -233,12 +197,8 @@ fn spacc_accumulates_across_inner_boundaries() {
 fn spacc_flushes_empty_fiber_for_empty_accumulation() {
     let crd = vec![s(1), idx(2), s(2), D];
     let vals = vec![s(1), val(5.0), s(2), D];
-    let out = run_node_standalone(
-        NodeKind::Spacc1 { op: ReduceOp::Sum },
-        vec![crd, vals],
-        vec![],
-    )
-    .unwrap();
+    let out = run_node_standalone(NodeKind::Spacc1 { op: ReduceOp::Sum }, vec![crd, vals], vec![])
+        .unwrap();
     assert_eq!(out[0], vec![s(0), idx(2), s(1), D]);
     assert_eq!(out[1], vec![s(0), val(5.0), s(1), D]);
 }
@@ -247,12 +207,8 @@ fn spacc_flushes_empty_fiber_for_empty_accumulation() {
 fn parallelizer_round_robins_elements_and_broadcasts_stops() {
     let crd = vec![idx(0), idx(1), idx(2), s(0), D];
     let refs = vec![idx(10), idx(11), idx(12), s(0), D];
-    let out = run_node_standalone(
-        NodeKind::Parallelizer { factor: 2 },
-        vec![crd, refs],
-        vec![],
-    )
-    .unwrap();
+    let out =
+        run_node_standalone(NodeKind::Parallelizer { factor: 2 }, vec![crd, refs], vec![]).unwrap();
     assert_eq!(out[0], vec![idx(0), idx(2), s(0), D]); // branch 0 crd
     assert_eq!(out[1], vec![idx(10), idx(12), s(0), D]); // branch 0 ref
     assert_eq!(out[2], vec![idx(1), s(0), D]); // branch 1 crd
@@ -361,8 +317,8 @@ fn blocked_array_and_matmul_alu() {
 fn crddrop_passes_streams_through() {
     let outer = vec![idx(0), s(0), D];
     let inner = vec![idx(1), idx(2), s(1), D];
-    let out = run_node_standalone(NodeKind::CrdDrop, vec![outer.clone(), inner.clone()], vec![])
-        .unwrap();
+    let out =
+        run_node_standalone(NodeKind::CrdDrop, vec![outer.clone(), inner.clone()], vec![]).unwrap();
     assert_eq!(out[0], outer);
     assert_eq!(out[1], inner);
 }

@@ -131,10 +131,7 @@ impl DenseTensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        DenseTensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        DenseTensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -146,12 +143,7 @@ impl DenseTensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         DenseTensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -207,11 +199,7 @@ impl DenseTensor {
     /// Elementwise approximate equality within [`crate::VERIFY_EPS`].
     pub fn approx_eq(&self, other: &Self) -> bool {
         self.shape == other.shape
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| approx_eq(a, b))
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| approx_eq(a, b))
     }
 
     /// The largest absolute elementwise difference against `other`.
@@ -221,11 +209,7 @@ impl DenseTensor {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         assert_eq!(self.shape, other.shape);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

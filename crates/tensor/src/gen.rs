@@ -6,7 +6,7 @@
 //! mask), and tensor shape (optionally scaled for simulation feasibility).
 //! The substitution rationale is recorded in `DESIGN.md` §4.
 
-use crate::{Crd, CooEntry, DenseTensor, Format, SparseTensor};
+use crate::{CooEntry, Crd, DenseTensor, Format, SparseTensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,7 +38,13 @@ impl std::fmt::Display for GraphPattern {
 /// # Panics
 ///
 /// Panics if `density` is not within `(0, 1]` or `n == 0`.
-pub fn adjacency(n: usize, density: f64, pattern: GraphPattern, seed: u64, format: &Format) -> SparseTensor {
+pub fn adjacency(
+    n: usize,
+    density: f64,
+    pattern: GraphPattern,
+    seed: u64,
+    format: &Format,
+) -> SparseTensor {
     assert!(n > 0, "graph must have nodes");
     assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -113,7 +119,13 @@ pub fn dense_features(rows: usize, cols: usize, seed: u64) -> DenseTensor {
 
 /// Generates a sparse feature matrix (e.g. bag-of-words node features) at
 /// the given density.
-pub fn sparse_features(rows: usize, cols: usize, density: f64, seed: u64, format: &Format) -> SparseTensor {
+pub fn sparse_features(
+    rows: usize,
+    cols: usize,
+    density: f64,
+    seed: u64,
+    format: &Format,
+) -> SparseTensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let target = ((rows * cols) as f64 * density).ceil() as usize;
     let mut entries: Vec<CooEntry> = Vec::with_capacity(target);

@@ -253,7 +253,11 @@ impl SparseTensor {
             assert_eq!(tile.len(), block[0] * block[1], "tile size mismatch");
             for (lvl, &c) in coords.iter().enumerate() {
                 if c as usize >= grid[lvl] {
-                    return Err(TensorError::CoordOutOfBounds { level: lvl, crd: c, size: grid[lvl] });
+                    return Err(TensorError::CoordOutOfBounds {
+                        level: lvl,
+                        crd: c,
+                        size: grid[lvl],
+                    });
                 }
             }
         }
@@ -311,8 +315,7 @@ impl SparseTensor {
         // Fiber ranges over `entries` aligned with positions of the previous
         // level. Empty ranges occur under dense levels.
         let mut ranges: Vec<(usize, usize)> = vec![(0, entries.len())];
-        for lvl in 0..order {
-            let size = shape[lvl];
+        for (lvl, &size) in shape.iter().enumerate().take(order) {
             let mut next_ranges = Vec::new();
             match format.level(lvl) {
                 LevelFormat::Dense => {
@@ -565,11 +568,14 @@ mod tests {
     use crate::LevelFormat;
 
     fn sample_dense() -> DenseTensor {
-        DenseTensor::from_vec(vec![3, 4], vec![
-            1.0, 0.0, 2.0, 0.0, //
-            0.0, 0.0, 0.0, 0.0, //
-            3.0, 0.0, 0.0, 4.0,
-        ])
+        DenseTensor::from_vec(
+            vec![3, 4],
+            vec![
+                1.0, 0.0, 2.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                3.0, 0.0, 0.0, 4.0,
+            ],
+        )
     }
 
     #[test]
@@ -647,7 +653,11 @@ mod tests {
     #[test]
     fn three_level_csf() {
         let d = DenseTensor::from_fn(vec![2, 3, 2], |ix| {
-            if (ix[0] + ix[1] + ix[2]) % 3 == 0 { (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32 + 1.0 } else { 0.0 }
+            if (ix[0] + ix[1] + ix[2]) % 3 == 0 {
+                (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32 + 1.0
+            } else {
+                0.0
+            }
         });
         let s = SparseTensor::from_dense(&d, &Format::csf(3));
         assert_eq!(s.to_dense(), d);
@@ -657,7 +667,8 @@ mod tests {
     #[test]
     fn mixed_format_three_level() {
         let d = DenseTensor::from_fn(vec![2, 2, 3], |ix| if ix[2] == 1 { 2.0 } else { 0.0 });
-        let fmt = Format::new(vec![LevelFormat::Dense, LevelFormat::Compressed, LevelFormat::Compressed]);
+        let fmt =
+            Format::new(vec![LevelFormat::Dense, LevelFormat::Compressed, LevelFormat::Compressed]);
         let s = SparseTensor::from_dense(&d, &fmt);
         assert_eq!(s.to_dense(), d);
     }
@@ -684,7 +695,8 @@ mod tests {
 
     #[test]
     fn blocked_rejects_bad_shape() {
-        let err = SparseTensor::from_blocks(vec![5, 4], [2, 2], vec![], &Format::csr()).unwrap_err();
+        let err =
+            SparseTensor::from_blocks(vec![5, 4], [2, 2], vec![], &Format::csr()).unwrap_err();
         assert_eq!(err, TensorError::BlockMismatch { dim: 0 });
     }
 

@@ -7,16 +7,12 @@ use proptest::prelude::*;
 fn coo(shape: &'static [usize], max_entries: usize) -> impl Strategy<Value = Vec<CooEntry>> {
     let dims = shape.to_vec();
     proptest::collection::vec(
-        (
-            proptest::collection::vec(0u32..16, dims.len()),
-            -8i32..=8,
-        )
-            .prop_map(move |(mut c, v)| {
-                for (d, x) in c.iter_mut().enumerate() {
-                    *x %= dims[d] as u32;
-                }
-                (c, v as f32)
-            }),
+        (proptest::collection::vec(0u32..16, dims.len()), -8i32..=8).prop_map(move |(mut c, v)| {
+            for (d, x) in c.iter_mut().enumerate() {
+                *x %= dims[d] as u32;
+            }
+            (c, v as f32)
+        }),
         0..max_entries,
     )
 }

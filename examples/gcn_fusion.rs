@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example gcn_fusion`.
 
+use fuseflow::core::estimate;
 use fuseflow::core::pipeline::{compile, run, verify};
-use fuseflow::core::{estimate, Schedule};
 use fuseflow::models::{gcn, Fusion, GraphDataset};
 use fuseflow::sim::SimConfig;
 use fuseflow::tensor::gen::GraphPattern;

@@ -19,8 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adj = p.input("Adj", vec![n, n], Format::csr());
     let x = p.input("X", vec![n, 32], Format::csr());
     let w = p.input("W", vec![32, 16], Format::dense(2));
-    let t0 = p.contract("T0", vec![i, u], vec![(adj, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, u],
+        vec![(adj, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t1 = p.contract(
+        "T1",
+        vec![i, j],
+        vec![(t0, vec![i, u]), (w, vec![u, j])],
+        vec![u],
+        Format::csr(),
+    );
     p.mark_output(t1);
 
     let mut inputs = HashMap::new();

@@ -20,17 +20,41 @@ fn gcn_layerish(n: usize, f: usize, h: usize) -> (Program, Inputs) {
     let x = p.input("X", vec![n, f], Format::csr());
     let w = p.input("W", vec![f, h], Format::dense(2));
     let b = p.input("b", vec![h], Format::dense_vec());
-    let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t1 = p.contract(
+        "T1",
+        vec![i, j],
+        vec![(t0, vec![i, u]), (w, vec![u, j])],
+        vec![u],
+        Format::csr(),
+    );
     let t2 = p.binary("T2", OpKind::Add, (t1, vec![i, j]), (b, vec![j]), vec![i, j], Format::csr());
     let out = p.map("Out", AluOp::Relu, (t2, vec![i, j]), Format::csr());
     p.mark_output(out);
 
     let mut inputs = Inputs::new();
-    inputs.insert("A".into(), gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 10, &Format::csr()));
+    inputs.insert(
+        "A".into(),
+        gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 10, &Format::csr()),
+    );
     inputs.insert("X".into(), gen::sparse_features(n, f, 0.4, 11, &Format::csr()));
-    inputs.insert("W".into(), SparseTensor::from_dense(&gen::dense_features(f, h, 12), &Format::dense(2)));
-    inputs.insert("b".into(), SparseTensor::from_dense(&gen::dense_features(1, h, 13).reshape(vec![h]), &Format::dense_vec()));
+    inputs.insert(
+        "W".into(),
+        SparseTensor::from_dense(&gen::dense_features(f, h, 12), &Format::dense(2)),
+    );
+    inputs.insert(
+        "b".into(),
+        SparseTensor::from_dense(
+            &gen::dense_features(1, h, 13).reshape(vec![h]),
+            &Format::dense_vec(),
+        ),
+    );
     (p, inputs)
 }
 
@@ -45,7 +69,8 @@ fn gcn_layer_unfused_matches_reference() {
 #[test]
 fn gcn_layer_fully_fused_matches_reference_and_cuts_traffic() {
     let (p, inputs) = gcn_layerish(20, 12, 6);
-    let unfused = compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
+    let unfused =
+        compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
     let fused = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
     assert!(
         fused.stats.dram_bytes() < unfused.stats.dram_bytes(),
@@ -65,7 +90,8 @@ fn gcn_layer_fully_fused_matches_reference_and_cuts_traffic() {
 fn gcn_layer_partial_regions_match_reference() {
     let (p, inputs) = gcn_layerish(16, 10, 5);
     // Fuse the two matmuls; bias and relu stay separate.
-    let r = compile_run_verify(&p, &Schedule::regions(vec![0..2]), &inputs, &SimConfig::default()).unwrap();
+    let r = compile_run_verify(&p, &Schedule::regions(vec![0..2]), &inputs, &SimConfig::default())
+        .unwrap();
     assert_eq!(r.per_region.len(), 3);
 }
 
@@ -75,20 +101,33 @@ fn two_layer_full_fusion_recomputes_but_stays_correct() {
     // row loop (recomputation), which must stay functionally correct.
     let n = 12;
     let mut p = Program::new();
-    let (i, k, u, k2, j) =
-        (p.index("i"), p.index("k"), p.index("u"), p.index("k2"), p.index("j"));
+    let (i, k, u, k2, j) = (p.index("i"), p.index("k"), p.index("u"), p.index("k2"), p.index("j"));
     let a = p.input("A", vec![n, n], Format::csr());
     let x = p.input("X", vec![n, 8], Format::csr());
-    let x1 = p.contract("X1", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t = p.contract("T", vec![i, j], vec![(a, vec![i, k2]), (x1, vec![k2, j])], vec![k2], Format::csr());
+    let x1 = p.contract(
+        "X1",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t = p.contract(
+        "T",
+        vec![i, j],
+        vec![(a, vec![i, k2]), (x1, vec![k2, j])],
+        vec![k2],
+        Format::csr(),
+    );
     let _ = (t, u);
     p.mark_output(t);
 
     let mut inputs = Inputs::new();
-    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 3, &Format::csr()));
+    inputs
+        .insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 3, &Format::csr()));
     inputs.insert("X".into(), gen::sparse_features(n, 8, 0.5, 4, &Format::csr()));
 
-    let unfused = compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
+    let unfused =
+        compile_run_verify(&p, &Schedule::unfused(), &inputs, &SimConfig::default()).unwrap();
     let fused = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
     // Recomputation shows up as extra compute in the fused configuration.
     assert!(
@@ -115,7 +154,8 @@ fn masked_softmax_pipeline_matches_reference() {
     p.mark_output(o);
 
     let mut inputs = Inputs::new();
-    inputs.insert("S".into(), gen::adjacency(n, 0.4, gen::GraphPattern::Uniform, 7, &Format::csr()));
+    inputs
+        .insert("S".into(), gen::adjacency(n, 0.4, gen::GraphPattern::Uniform, 7, &Format::csr()));
 
     for schedule in [Schedule::unfused(), Schedule::full()] {
         let r = compile_run_verify(&p, &schedule, &inputs, &SimConfig::default()).unwrap();
@@ -138,16 +178,33 @@ fn union_add_of_two_matmuls_matches_reference() {
     let a = p.input("A", vec![n, n], Format::csr());
     let x = p.input("X", vec![n, 6], Format::csr());
     let w1 = p.input("W1", vec![6, 6], Format::dense(2));
-    let ts = p.contract("Tself", vec![i, u], vec![(x, vec![i, k]), (w1, vec![k, u])], vec![k], Format::csr());
-    let tn = p.contract("Tnbor", vec![i, u], vec![(a, vec![i, k2]), (x, vec![k2, u])], vec![k2], Format::csr());
-    let sum = p.binary("Sum", OpKind::Add, (ts, vec![i, u]), (tn, vec![i, u]), vec![i, u], Format::csr());
+    let ts = p.contract(
+        "Tself",
+        vec![i, u],
+        vec![(x, vec![i, k]), (w1, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let tn = p.contract(
+        "Tnbor",
+        vec![i, u],
+        vec![(a, vec![i, k2]), (x, vec![k2, u])],
+        vec![k2],
+        Format::csr(),
+    );
+    let sum =
+        p.binary("Sum", OpKind::Add, (ts, vec![i, u]), (tn, vec![i, u]), vec![i, u], Format::csr());
     let out = p.map("Out", AluOp::Relu, (sum, vec![i, u]), Format::csr());
     p.mark_output(out);
 
     let mut inputs = Inputs::new();
-    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 21, &Format::csr()));
+    inputs
+        .insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 21, &Format::csr()));
     inputs.insert("X".into(), gen::sparse_features(n, 6, 0.6, 22, &Format::csr()));
-    inputs.insert("W1".into(), SparseTensor::from_dense(&gen::dense_features(6, 6, 23), &Format::dense(2)));
+    inputs.insert(
+        "W1".into(),
+        SparseTensor::from_dense(&gen::dense_features(6, 6, 23), &Format::dense(2)),
+    );
 
     for schedule in [Schedule::unfused(), Schedule::full()] {
         compile_run_verify(&p, &schedule, &inputs, &SimConfig::default()).unwrap();
@@ -164,16 +221,35 @@ fn global_iteration_baseline_matches_and_is_slower() {
     let a = p.input("A", vec![n, n], Format::csr());
     let x = p.input("X", vec![n, 10], Format::csr());
     let w = p.input("W", vec![10, 6], Format::dense(2));
-    let t0 = p.contract("T0", vec![i, u], vec![(a, vec![i, k]), (x, vec![k, u])], vec![k], Format::csr());
-    let t1 = p.contract("T1", vec![i, j], vec![(t0, vec![i, u]), (w, vec![u, j])], vec![u], Format::csr());
+    let t0 = p.contract(
+        "T0",
+        vec![i, u],
+        vec![(a, vec![i, k]), (x, vec![k, u])],
+        vec![k],
+        Format::csr(),
+    );
+    let t1 = p.contract(
+        "T1",
+        vec![i, j],
+        vec![(t0, vec![i, u]), (w, vec![u, j])],
+        vec![u],
+        Format::csr(),
+    );
     p.mark_output(t1);
 
     let mut inputs = Inputs::new();
-    inputs.insert("A".into(), gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 31, &Format::csr()));
+    inputs.insert(
+        "A".into(),
+        gen::adjacency(n, 0.15, gen::GraphPattern::Uniform, 31, &Format::csr()),
+    );
     inputs.insert("X".into(), gen::sparse_features(n, 10, 0.4, 32, &Format::csr()));
-    inputs.insert("W".into(), SparseTensor::from_dense(&gen::dense_features(10, 6, 33), &Format::dense(2)));
+    inputs.insert(
+        "W".into(),
+        SparseTensor::from_dense(&gen::dense_features(10, 6, 33), &Format::dense(2)),
+    );
 
-    let factored = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    let factored =
+        compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
     let global = compile_run_verify(
         &p,
         &Schedule::full().with_global_iteration(),
@@ -196,11 +272,13 @@ fn parallelized_fused_matmul_matches_and_speeds_up() {
     let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
     let a = p.input("A", vec![n, n], Format::csr());
     let x = p.input("X", vec![n, 12], Format::csr());
-    let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
+    let t =
+        p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
     p.mark_output(t);
 
     let mut inputs = Inputs::new();
-    inputs.insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 41, &Format::csr()));
+    inputs
+        .insert("A".into(), gen::adjacency(n, 0.2, gen::GraphPattern::Uniform, 41, &Format::csr()));
     inputs.insert("X".into(), gen::sparse_features(n, 12, 0.5, 42, &Format::csr()));
 
     let serial = compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();

@@ -18,8 +18,11 @@ fn coo_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<CooEntry>> 
 }
 
 fn any_matrix_format() -> impl Strategy<Value = Format> {
-    proptest::collection::vec(prop_oneof![Just(LevelFormat::Dense), Just(LevelFormat::Compressed)], 2)
-        .prop_map(Format::new)
+    proptest::collection::vec(
+        prop_oneof![Just(LevelFormat::Dense), Just(LevelFormat::Compressed)],
+        2,
+    )
+    .prop_map(Format::new)
 }
 
 proptest! {

@@ -1,0 +1,219 @@
+//! Minimal, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses (see `vendor/README.md`). Each bench warms up briefly,
+//! then runs timed batches until the configured measurement time elapses,
+//! and prints the median time per iteration. No statistics, reports, or
+//! CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a benched
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Times closures for one bench.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let measure_until = Instant::now() + self.config.measurement_time;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+            if samples.len() >= self.config.sample_size && Instant::now() >= measure_until {
+                break;
+            }
+            if samples.len() >= self.config.sample_size * 64 {
+                break; // fast benches: enough samples, stop early
+            }
+        }
+        self.samples = samples;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Top-level bench driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the target number of samples per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per bench.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per bench.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// A named collection of benches sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher { config: &self.criterion.config, samples: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Benches a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher { config: &self.criterion.config, samples: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        eprintln!("  {group}/{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    eprintln!("  {group}/{id}: median {median:?} over {} samples", samples.len());
+}
+
+/// Declares a bench group: either `criterion_group!(name, targets...)` or the
+/// braced form with explicit `config = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = 0;
+        g.bench_function("fib", |b| b.iter(|| fib(10)));
+        g.bench_with_input(BenchmarkId::from_parameter(12), &12u64, |b, &n| {
+            b.iter(|| fib(n));
+        });
+        ran += 2;
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}
