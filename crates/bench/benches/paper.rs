@@ -9,7 +9,7 @@ use fuseflow_core::{estimate, fuse_region};
 use fuseflow_models::{
     gcn, gpt_attention, gpt_attention_blocked, graphsage, sae, Fusion, GraphDataset,
 };
-use fuseflow_sim::{SimConfig, TimingConfig};
+use fuseflow_sim::{parallel_map, SimConfig, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
 
 fn tiny_graph() -> GraphDataset {
@@ -162,6 +162,29 @@ fn table4_orders(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sweep throughput: the fig12-style fusion sweep run point-by-point on
+/// one thread vs fanned out on the shared worker pool (the same
+/// `parallel_map` that backs `experiments` and the sharded engine). The
+/// two variants compute identical cycle totals; the pooled one reports the
+/// wall-clock win of parallelizing independent model runs.
+fn sweep_throughput(c: &mut Criterion) {
+    let m = gcn(&tiny_graph(), 8, 4, 10);
+    let points: Vec<Schedule> = Fusion::ALL.iter().map(|&f| m.schedule(f)).collect();
+    let run_point = |sched: &Schedule| {
+        let compiled = compile(&m.program, sched).unwrap();
+        run(&m.program, &compiled, &m.inputs, &sim()).unwrap().stats.cycles
+    };
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.bench_function("serial", |b| b.iter(|| points.iter().map(run_point).sum::<u64>()));
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    g.bench_function(format!("pooled_x{workers}"), |b| {
+        b.iter(|| {
+            parallel_map(workers, points.clone(), |sched| run_point(&sched)).iter().sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
 /// Ablation: factored vs global iteration style (DESIGN.md §3.2).
 fn ablation_iteration_style(c: &mut Criterion) {
     let m = gcn(&tiny_graph(), 8, 4, 9);
@@ -185,6 +208,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = fig12_fusion, fig4b_prior_compilers, fig13_validation, fig15_sparsity,
               fig16_parallel, fig17_blocking, table3_heuristic, table4_orders,
-              ablation_iteration_style
+              sweep_throughput, ablation_iteration_style
 }
 criterion_main!(paper);

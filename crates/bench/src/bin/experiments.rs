@@ -2,8 +2,18 @@
 //! (Section 8). Run `experiments all` or a specific id (`fig12`,
 //! `table4`, ...). Results print as aligned text and are written as CSV
 //! under `results/`.
+//!
+//! Flags:
+//!
+//! * `--quick`   tiny instances, one point per sweep — the CI smoke mode.
+//! * `--threads N`  worker threads for the sweep pool (default: all cores).
+//!
+//! Independent simulation points within each sweep run on the shared
+//! [`parallel_map`] worker pool; results are collected in point order, so
+//! the printed tables and CSVs are identical for any thread count.
 
 use fuseflow_core::estimate;
+use fuseflow_core::fuse_region;
 use fuseflow_core::pipeline::{compile, compile_at, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_models::{
@@ -11,10 +21,19 @@ use fuseflow_models::{
     ModelInstance, GRAPH_DATASETS, SAE_DATASETS,
 };
 use fuseflow_sam::MemLocation;
-use fuseflow_sim::{SimConfig, Stats, TimingConfig};
+use fuseflow_sim::{parallel_map, SimConfig, Stats, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// Sweep-wide options parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+struct Opts {
+    /// Tiny sizes, one point per sweep (CI smoke mode).
+    quick: bool,
+    /// Worker threads for the sweep pool.
+    threads: usize,
+}
 
 fn sim() -> SimConfig {
     SimConfig::default()
@@ -42,12 +61,14 @@ fn save(name: &str, content: &str) {
 
 /// Fig 1: roofline-model GPU utilization for GCN inference (substitution:
 /// analytical RTX-5090-class device; DESIGN.md §4).
-fn fig1() {
+fn fig1(o: Opts) {
     println!("\n== Fig 1: GPU SM/DRAM utilization for GCN inference (roofline model) ==");
     let mut csv = String::from("dataset,sm_util_pct,mem_util_pct\n");
     // RTX-5090-class peaks: ~105 TFLOP/s FP32, ~1.8 TB/s DRAM, ~2.6 GHz.
     let (peak_flops, peak_bw) = (105e12, 1.79e12);
-    for ds in &GRAPH_DATASETS {
+    let datasets: Vec<_> =
+        GRAPH_DATASETS.iter().take(if o.quick { 1 } else { usize::MAX }).collect();
+    for ds in datasets {
         let m = gcn(ds, 32, 16, 42);
         let est = estimate(&m.program, &Schedule::unfused(), &m.inputs);
         // Kernel-launch-bound time: each of the model's kernels needs at
@@ -63,27 +84,29 @@ fn fig1() {
 }
 
 /// Fig 4b / §8.4: prior-compiler comparison on GCN/collab.
-fn fig4b() {
+fn fig4b(o: Opts) {
     println!("\n== Fig 4b: C+S (unfused) vs C+S (rewrite) vs FuseFlow, GCN ==");
     let ds = GraphDataset {
         name: "collab",
-        nodes: 96,
-        feats: 24,
+        nodes: if o.quick { 32 } else { 96 },
+        feats: if o.quick { 8 } else { 24 },
         density: 0.03,
         pattern: GraphPattern::PowerLaw,
     };
     let m = gcn(&ds, 16, 8, 7);
-    let unfused = run_model(&m, &Schedule::unfused()).cycles;
-    // C+S rewrite: the user hand-composes the two matmuls of each layer into
-    // one expression compiled with a global iteration space; non-algebraic
-    // ops stay unfused (Fig 4a).
-    let cs = {
-        let sched = Schedule::regions(vec![0..2, 4..6]).with_global_iteration();
-        run_model(&m, &sched).cycles
-    };
-    let ff = run_model(&m, &m.schedule(Fusion::Partial)).cycles;
+    let configs: Vec<(&str, Schedule)> = vec![
+        ("C+S (unfused)", Schedule::unfused()),
+        // C+S rewrite: the user hand-composes the two matmuls of each layer
+        // into one expression compiled with a global iteration space;
+        // non-algebraic ops stay unfused (Fig 4a).
+        ("C+S (rewrite)", Schedule::regions(vec![0..2, 4..6]).with_global_iteration()),
+        ("FuseFlow", m.schedule(Fusion::Partial)),
+    ];
+    let cycles =
+        parallel_map(o.threads, configs, |(name, sched)| (name, run_model(&m, &sched).cycles));
+    let unfused = cycles[0].1;
     let mut csv = String::from("config,cycles,speedup\n");
-    for (name, c) in [("C+S (unfused)", unfused), ("C+S (rewrite)", cs), ("FuseFlow", ff)] {
+    for (name, c) in cycles {
         println!("  {:15} {:>12} cycles   speedup {:.2}x", name, c, unfused as f64 / c as f64);
         writeln!(csv, "{},{},{:.3}", name, c, unfused as f64 / c as f64).unwrap();
     }
@@ -91,13 +114,43 @@ fn fig4b() {
 }
 
 /// Fig 12: fusion granularity sweep across the four model classes.
-fn fig12() {
+fn fig12(o: Opts) {
     println!("\n== Fig 12: fusion effect across models (speedup over unfused) ==");
+    let mut models: Vec<(String, String, ModelInstance)> = Vec::new();
+    let sae_take = if o.quick { 1 } else { 2 };
+    for (name, n_in, batch) in SAE_DATASETS.iter().take(sae_take) {
+        let scale = if o.quick { 16 } else { 8 };
+        models.push(("sae".into(), (*name).into(), sae(name, *n_in / scale, 48, *batch, 0.5, 11)));
+    }
+    let graph_take = if o.quick { 1 } else { 3 };
+    for ds in GRAPH_DATASETS.iter().take(graph_take) {
+        let div = if o.quick { 4 } else { 2 };
+        let small = GraphDataset { nodes: ds.nodes / div, feats: ds.feats / div, ..*ds };
+        models.push(("gcn".into(), ds.name.into(), gcn(&small, 16, 8, 21)));
+        if !o.quick {
+            models.push(("graphsage".into(), ds.name.into(), graphsage(&small, 16, 8, 23)));
+        }
+    }
+    let blocks: &[usize] = if o.quick { &[16] } else { &[16, 32, 64] };
+    for &block in blocks {
+        let seq = if o.quick { 64 } else { 128 };
+        models.push((
+            "gpt3-bigbird".into(),
+            format!("block{block}"),
+            gpt_decoder(seq, 16, block, 31),
+        ));
+    }
+    // Each model sweeps its fusion granularities on one pool worker; model
+    // sweeps are independent, so they fan out across the pool.
+    let rows = parallel_map(o.threads, models, |(model, dsname, m)| {
+        let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles;
+        let per: Vec<(Fusion, u64)> =
+            Fusion::ALL.iter().map(|&f| (f, run_model(&m, &m.schedule(f)).cycles)).collect();
+        (model, dsname, base, per)
+    });
     let mut csv = String::from("model,dataset,fusion,cycles,speedup\n");
-    let mut sweep = |m: &ModelInstance, model: &str, dsname: &str| {
-        let base = run_model(m, &m.schedule(Fusion::Unfused)).cycles;
-        for f in Fusion::ALL {
-            let c = run_model(m, &m.schedule(f)).cycles;
+    for (model, dsname, base, per) in rows {
+        for (f, c) in per {
             println!(
                 "  {model:10} {dsname:10} {f:8} {:>12} cycles  {:.2}x",
                 c,
@@ -105,27 +158,13 @@ fn fig12() {
             );
             writeln!(csv, "{model},{dsname},{f},{c},{:.3}", base as f64 / c as f64).unwrap();
         }
-    };
-    for (name, n_in, batch) in SAE_DATASETS.iter().take(2) {
-        let m = sae(name, *n_in / 8, 48, *batch, 0.5, 11);
-        sweep(&m, "sae", name);
-    }
-    for ds in GRAPH_DATASETS.iter().take(3) {
-        let small = GraphDataset { nodes: ds.nodes / 2, feats: ds.feats / 2, ..*ds };
-        sweep(&gcn(&small, 16, 8, 21), "gcn", ds.name);
-        sweep(&graphsage(&small, 16, 8, 23), "graphsage", ds.name);
-    }
-    for block in [16usize, 32, 64] {
-        let m = gpt_decoder(128, 16, block, 31);
-        sweep(&m, "gpt3-bigbird", &format!("block{block}"));
     }
     save("fig12", &csv);
 }
 
 /// Fig 13: Comal vs FPGA-RTL backend latency correlation (R^2).
-fn fig13() {
+fn fig13(o: Opts) {
     println!("\n== Fig 13: Comal vs FPGA-RTL backend trend agreement ==");
-    let mut pairs: Vec<(f64, f64, String)> = Vec::new();
     let ds = GraphDataset {
         name: "karate",
         nodes: 34,
@@ -133,22 +172,27 @@ fn fig13() {
         density: 0.14,
         pattern: GraphPattern::Uniform,
     };
-    let mut kernels: Vec<(String, ModelInstance)> = vec![
-        ("gcn".into(), gcn(&ds, 8, 4, 3)),
-        ("graphsage".into(), graphsage(&ds, 8, 4, 5)),
-        ("gpt3".into(), gpt_attention(32, 8, 8, 7)),
-    ];
-    for (name, m) in kernels.drain(..) {
+    let mut kernels: Vec<(String, ModelInstance)> =
+        vec![("gcn".into(), gcn(&ds, 8, 4, 3)), ("graphsage".into(), graphsage(&ds, 8, 4, 5))];
+    if !o.quick {
+        kernels.push(("gpt3".into(), gpt_attention(32, 8, 8, 7)));
+    }
+    let per_kernel = parallel_map(o.threads, kernels, |(name, m)| {
         // Per-kernel latency (unfused singleton regions) on both backends,
         // tensors pinned on-chip like the paper's BRAM-resident kernels.
         let compiled = compile_at(&m.program, &Schedule::unfused(), MemLocation::OnChip).unwrap();
         let comal = run(&m.program, &compiled, &m.inputs, &sim()).unwrap();
         let fpga_cfg = SimConfig { timing: TimingConfig::fpga_rtl(), ..sim() };
         let fpga = run(&m.program, &compiled, &m.inputs, &fpga_cfg).unwrap();
-        for (i, (c, f)) in comal.per_region.iter().zip(&fpga.per_region).enumerate() {
-            pairs.push((c.cycles as f64, f.cycles as f64, format!("{name}/k{i}")));
-        }
-    }
+        comal
+            .per_region
+            .iter()
+            .zip(&fpga.per_region)
+            .enumerate()
+            .map(|(i, (c, f))| (c.cycles as f64, f.cycles as f64, format!("{name}/k{i}")))
+            .collect::<Vec<_>>()
+    });
+    let pairs: Vec<(f64, f64, String)> = per_kernel.into_iter().flatten().collect();
     // R^2 of log-latencies across kernels.
     let xs: Vec<f64> = pairs.iter().map(|p| p.0.ln()).collect();
     let ys: Vec<f64> = pairs.iter().map(|p| p.1.ln()).collect();
@@ -168,26 +212,38 @@ fn fig13() {
 }
 
 /// Fig 14: GCN FLOPs / bytes normalized to unfused + operational intensity.
-fn fig14() {
+fn fig14(o: Opts) {
     println!("\n== Fig 14: GCN FLOPs & DRAM bytes normalized to unfused ==");
-    let mut csv = String::from("dataset,fusion,flops_rel,bytes_rel,op_intensity\n");
-    for ds in GRAPH_DATASETS.iter().take(3) {
-        let small = GraphDataset { nodes: ds.nodes / 2, feats: ds.feats / 2, ..*ds };
-        let m = gcn(&small, 16, 8, 77);
+    let take = if o.quick { 1 } else { 3 };
+    let datasets: Vec<GraphDataset> = GRAPH_DATASETS
+        .iter()
+        .take(take)
+        .map(|ds| {
+            let div = if o.quick { 4 } else { 2 };
+            GraphDataset { nodes: ds.nodes / div, feats: ds.feats / div, ..*ds }
+        })
+        .collect();
+    let rows = parallel_map(o.threads, datasets, |ds| {
+        let m = gcn(&ds, 16, 8, 77);
         let base = run_model(&m, &m.schedule(Fusion::Unfused));
-        for f in Fusion::ALL {
-            let s = run_model(&m, &m.schedule(f));
+        let per: Vec<(Fusion, Stats)> =
+            Fusion::ALL.iter().map(|&f| (f, run_model(&m, &m.schedule(f)))).collect();
+        (ds.name, base, per)
+    });
+    let mut csv = String::from("dataset,fusion,flops_rel,bytes_rel,op_intensity\n");
+    for (name, base, per) in rows {
+        for (f, s) in per {
             let fr = s.flops as f64 / base.flops as f64;
             let br = s.dram_bytes() as f64 / base.dram_bytes() as f64;
             println!(
                 "  {:8} {:8} flops x{:.2}  bytes x{:.2}  OI {:.3}",
-                ds.name,
+                name,
                 f,
                 fr,
                 br,
                 s.operational_intensity()
             );
-            writeln!(csv, "{},{},{:.4},{:.4},{:.4}", ds.name, f, fr, br, s.operational_intensity())
+            writeln!(csv, "{},{},{:.4},{:.4},{:.4}", name, f, fr, br, s.operational_intensity())
                 .unwrap();
         }
     }
@@ -195,42 +251,62 @@ fn fig14() {
 }
 
 /// Fig 15: sparsity ablation on synthetic graphs.
-fn fig15() {
+fn fig15(o: Opts) {
     println!("\n== Fig 15: speedup vs sparsity (synthetic 2-layer GCN) ==");
-    let mut csv = String::from("pattern,sparsity,partial_speedup,full_speedup\n");
-    for pattern in [GraphPattern::Uniform, GraphPattern::PowerLaw, GraphPattern::BlockDiagonal] {
-        for sparsity in [0.5, 0.7, 0.8, 0.9, 0.95] {
-            let ds = GraphDataset {
-                name: "synthetic",
-                nodes: 100,
-                feats: 24,
-                density: 1.0 - sparsity,
-                pattern,
-            };
-            let m = gcn(&ds, 16, 8, 55);
-            let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles as f64;
-            let part = base / run_model(&m, &m.schedule(Fusion::Partial)).cycles as f64;
-            let full = base / run_model(&m, &m.schedule(Fusion::Full)).cycles as f64;
-            println!("  {pattern:10} sparsity {sparsity:.2}: partial {part:.2}x  full {full:.2}x");
-            writeln!(csv, "{pattern},{sparsity},{part:.3},{full:.3}").unwrap();
+    let patterns: &[GraphPattern] = if o.quick {
+        &[GraphPattern::Uniform]
+    } else {
+        &[GraphPattern::Uniform, GraphPattern::PowerLaw, GraphPattern::BlockDiagonal]
+    };
+    let sparsities: &[f64] = if o.quick { &[0.9] } else { &[0.5, 0.7, 0.8, 0.9, 0.95] };
+    let mut points = Vec::new();
+    for &pattern in patterns {
+        for &sparsity in sparsities {
+            points.push((pattern, sparsity));
         }
+    }
+    let rows = parallel_map(o.threads, points, |(pattern, sparsity)| {
+        let ds = GraphDataset {
+            name: "synthetic",
+            nodes: if o.quick { 40 } else { 100 },
+            feats: if o.quick { 12 } else { 24 },
+            density: 1.0 - sparsity,
+            pattern,
+        };
+        let m = gcn(&ds, 16, 8, 55);
+        let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles as f64;
+        let part = base / run_model(&m, &m.schedule(Fusion::Partial)).cycles as f64;
+        let full = base / run_model(&m, &m.schedule(Fusion::Full)).cycles as f64;
+        (pattern, sparsity, part, full)
+    });
+    let mut csv = String::from("pattern,sparsity,partial_speedup,full_speedup\n");
+    for (pattern, sparsity, part, full) in rows {
+        println!("  {pattern:10} sparsity {sparsity:.2}: partial {part:.2}x  full {full:.2}x");
+        writeln!(csv, "{pattern},{sparsity},{part:.3},{full:.3}").unwrap();
     }
     save("fig15", &csv);
 }
 
 /// Fig 16: parallelization factor and location sweeps on BigBird attention.
-fn fig16() {
+fn fig16(o: Opts) {
     println!("\n== Fig 16a: parallelization factor sweep (BigBird attention) ==");
     // The blocked pipeline parallelizes end to end (no deferred softmax
     // references crossing the split); the scalar pipeline's softmax region
     // falls back to serial lowering under a split.
-    let m = gpt_attention_blocked(1024, 64, 16, 91);
+    let m = if o.quick {
+        gpt_attention_blocked(128, 16, 8, 91)
+    } else {
+        gpt_attention_blocked(1024, 64, 16, 91)
+    };
     let i_var = m.program.exprs()[0].output.indices[0];
-    let mut csv = String::from("factor,cycles,speedup\n");
-    let base = run_model_on_chip(&m, &m.schedule(Fusion::Partial)).cycles;
-    for factor in [1usize, 2, 4, 8, 16, 32, 64] {
+    let factors: &[usize] = if o.quick { &[1, 2] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let cycles = parallel_map(o.threads, factors.to_vec(), |factor| {
         let sched = m.schedule(Fusion::Partial).with_parallelization(i_var, factor);
-        let c = run_model_on_chip(&m, &sched).cycles;
+        (factor, run_model_on_chip(&m, &sched).cycles)
+    });
+    let base = run_model_on_chip(&m, &m.schedule(Fusion::Partial)).cycles;
+    let mut csv = String::from("factor,cycles,speedup\n");
+    for (factor, c) in cycles {
         println!("  factor {factor:>2}: {c:>12} cycles  {:.2}x", base as f64 / c as f64);
         writeln!(csv, "{factor},{c},{:.3}", base as f64 / c as f64).unwrap();
     }
@@ -242,39 +318,50 @@ fn fig16() {
     // kernels fall back to serial lowering, so location matters).
     let j_var = m.program.exprs()[0].output.indices[1];
     let base_unf = run_model_on_chip(&m, &m.schedule(Fusion::Unfused)).cycles;
-    let mut csv = String::from("location,factor,cycles,speedup\n");
-    for (loc, vars) in
-        [("level1", vec![i_var]), ("level2", vec![j_var]), ("both", vec![i_var, j_var])]
-    {
-        for factor in [1usize, 2, 4] {
-            let mut sched = m.schedule(Fusion::Unfused);
-            for v in &vars {
-                sched = sched.with_parallelization(*v, factor);
-            }
-            let c = run_model_on_chip(&m, &sched).cycles;
-            println!(
-                "  {loc:6} factor {factor}: {c:>12} cycles ({:.2}x)",
-                base_unf as f64 / c as f64
-            );
-            writeln!(csv, "{loc},{factor},{c},{:.3}", base_unf as f64 / c as f64).unwrap();
+    let locations: Vec<(&str, Vec<_>)> = if o.quick {
+        vec![("level1", vec![i_var])]
+    } else {
+        vec![("level1", vec![i_var]), ("level2", vec![j_var]), ("both", vec![i_var, j_var])]
+    };
+    let loc_factors: &[usize] = if o.quick { &[2] } else { &[1, 2, 4] };
+    let mut jobs = Vec::new();
+    for (loc, vars) in &locations {
+        for &factor in loc_factors {
+            jobs.push((*loc, vars.clone(), factor));
         }
+    }
+    let rows = parallel_map(o.threads, jobs, |(loc, vars, factor)| {
+        let mut sched = m.schedule(Fusion::Unfused);
+        for v in &vars {
+            sched = sched.with_parallelization(*v, factor);
+        }
+        (loc, factor, run_model_on_chip(&m, &sched).cycles)
+    });
+    let mut csv = String::from("location,factor,cycles,speedup\n");
+    for (loc, factor, c) in rows {
+        println!("  {loc:6} factor {factor}: {c:>12} cycles ({:.2}x)", base_unf as f64 / c as f64);
+        writeln!(csv, "{loc},{factor},{c},{:.3}", base_unf as f64 / c as f64).unwrap();
     }
     save("fig16b", &csv);
 }
 
 /// Fig 17: block-sparse vs unstructured BigBird attention.
-fn fig17() {
+fn fig17(o: Opts) {
     println!("\n== Fig 17: blocked vs unstructured BigBird attention ==");
-    let mut csv = String::from("block,unstructured_cycles,blocked_cycles,speedup\n");
-    for block in [16usize, 32, 64] {
-        let seq = 128;
-        let dh = 64;
+    let blocks: &[usize] = if o.quick { &[16] } else { &[16, 32, 64] };
+    let rows = parallel_map(o.threads, blocks.to_vec(), |block| {
+        let seq = if o.quick { 64 } else { 128 };
+        let dh = if o.quick { 16 } else { 64 };
         let un = gpt_attention(seq, dh, block, 13);
         // Unstructured arm: same mask, scalar streams, no softmax tail to
         // mirror the blocked pipeline's op set.
         let bl = gpt_attention_blocked(seq, dh, block, 13);
         let cu = run_model(&un, &un.schedule(Fusion::Full)).cycles;
         let cb = run_model(&bl, &bl.schedule(Fusion::Full)).cycles;
+        (block, cu, cb)
+    });
+    let mut csv = String::from("block,unstructured_cycles,blocked_cycles,speedup\n");
+    for (block, cu, cb) in rows {
         println!(
             "  block {block:>2}: unstructured {cu:>12}  blocked {cb:>10}  {:.1}x",
             cu as f64 / cb as f64
@@ -287,17 +374,18 @@ fn fig17() {
 /// Fig 18: dataflow order sweep for a chained matmul via user dataflow
 /// schedules; discordant orders materialize permuted input copies through
 /// the POG cycle-resolution path.
-fn fig18() {
+fn fig18(o: Opts) {
     println!("\n== Fig 18: dataflow order sweep, nested matmul ==");
     use fuseflow_core::ir::{IndexVar, Program};
     use fuseflow_tensor::{gen, Format, SparseTensor};
-    let n = 34; // KarateClub scale
+    let n = if o.quick { 16 } else { 34 }; // KarateClub scale
+    let feats = if o.quick { 8 } else { 16 };
     let build = |o1: &[usize], o2: &[usize]| -> (Program, String) {
         let mut p = Program::new();
         let (i, k, u, j) = (p.index("i"), p.index("k"), p.index("u"), p.index("j"));
         let a = p.input("A", vec![n, n], Format::csr());
-        let x = p.input("X", vec![n, 16], Format::csr());
-        let w = p.input("W", vec![16, 8], Format::dense(2));
+        let x = p.input("X", vec![n, feats], Format::csr());
+        let w = p.input("W", vec![feats, 8], Format::dense(2));
         let v1 = [i, k, u];
         let v2 = [i, u, j];
         let t0 = p.contract(
@@ -330,29 +418,49 @@ fn fig18() {
     let mut inputs = HashMap::new();
     inputs
         .insert("A".to_string(), gen::adjacency(n, 0.13, GraphPattern::Uniform, 3, &Format::csr()));
-    inputs.insert("X".to_string(), gen::sparse_features(n, 16, 0.4, 4, &Format::csr()));
+    inputs.insert("X".to_string(), gen::sparse_features(n, feats, 0.4, 4, &Format::csr()));
     inputs.insert(
         "W".to_string(),
         SparseTensor::from_dense(
-            &fuseflow_tensor::gen::dense_features(16, 8, 5),
+            &fuseflow_tensor::gen::dense_features(feats, 8, 5),
             &Format::dense(2),
         ),
     );
     let perms3: Vec<[usize; 3]> =
         vec![[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
-    let mut results: Vec<(String, u64)> = Vec::new();
+    let cap = if o.quick { 3 } else { 12 };
+    let mut order_pairs = Vec::new();
     for o1 in &perms3 {
         for o2 in &perms3 {
-            if results.len() >= 12 {
+            order_pairs.push((*o1, *o2));
+        }
+    }
+    // Order pairs simulate independently, but only the first `cap` unique
+    // results (in pair order) are reported — so pairs are fanned out one
+    // pool-sized chunk at a time with an early exit, instead of simulating
+    // all 36 pairs to print 3 rows in --quick mode. Chunking in pair order
+    // keeps the output thread-count invariant.
+    let mut results: Vec<(String, u64)> = Vec::new();
+    let mut order_pairs = order_pairs.into_iter();
+    while results.len() < cap {
+        let chunk: Vec<_> = order_pairs.by_ref().take(o.threads.max(cap)).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let sweep = parallel_map(o.threads, chunk, |(o1, o2)| {
+            let (p, label) = build(&o1, &o2);
+            let Ok(compiled) = compile(&p, &Schedule::unfused()) else { return None };
+            let Ok(res) = run(&p, &compiled, &inputs, &sim()) else { return None };
+            Some((label, res.stats.cycles))
+        });
+        for (label, cycles) in sweep.into_iter().flatten() {
+            if results.len() >= cap {
                 break;
             }
-            let (p, label) = build(o1, o2);
-            let Ok(compiled) = compile(&p, &Schedule::unfused()) else { continue };
-            let Ok(res) = run(&p, &compiled, &inputs, &sim()) else { continue };
             if results.iter().any(|(l, _)| *l == label) {
                 continue;
             }
-            results.push((label, res.stats.cycles));
+            results.push((label, cycles));
         }
     }
     let worst = results.iter().map(|r| r.1).max().unwrap_or(1);
@@ -365,50 +473,57 @@ fn fig18() {
 }
 
 /// Table 3: heuristic FLOPs/bytes error against the simulator.
-fn table3() {
+fn table3(o: Opts) {
     println!("\n== Table 3: heuristic avg % error (FLOPs / bytes) ==");
     let ds = GraphDataset {
         name: "collab",
-        nodes: 96,
-        feats: 24,
+        nodes: if o.quick { 32 } else { 96 },
+        feats: if o.quick { 8 } else { 24 },
         density: 0.03,
         pattern: GraphPattern::PowerLaw,
     };
-    let mut csv = String::from("model,flops_err_pct,bytes_err_pct\n");
-    let models: Vec<(&str, ModelInstance)> = vec![
-        ("gpt3-b16", gpt_decoder(64, 16, 16, 1)),
+    let mut models: Vec<(&str, ModelInstance)> = vec![
+        ("gpt3-b16", if o.quick { gpt_decoder(32, 8, 8, 1) } else { gpt_decoder(64, 16, 16, 1) }),
         ("gcn", gcn(&ds, 16, 8, 2)),
-        ("graphsage", graphsage(&ds, 16, 8, 3)),
     ];
-    for (name, m) in &models {
+    if !o.quick {
+        models.push(("graphsage", graphsage(&ds, 16, 8, 3)));
+    }
+    let rows = parallel_map(o.threads, models, |(name, m)| {
         let mut fe = 0.0;
         let mut be = 0.0;
         let mut cnt = 0.0;
         for f in [Fusion::Unfused, Fusion::Partial] {
             let sched = m.schedule(f);
-            let meas = run_model(m, &sched);
+            let meas = run_model(&m, &sched);
             let est = estimate(&m.program, &sched, &m.inputs);
             fe += (est.flops - meas.flops as f64).abs() / meas.flops as f64 * 100.0;
             be += (est.bytes - meas.dram_bytes() as f64).abs() / meas.dram_bytes() as f64 * 100.0;
             cnt += 1.0;
         }
-        println!("  {:10} FLOPs {:5.1}%   bytes {:5.1}%", name, fe / cnt, be / cnt);
-        writeln!(csv, "{},{:.2},{:.2}", name, fe / cnt, be / cnt).unwrap();
+        (name, fe / cnt, be / cnt)
+    });
+    let mut csv = String::from("model,flops_err_pct,bytes_err_pct\n");
+    for (name, fe, be) in rows {
+        println!("  {:10} FLOPs {:5.1}%   bytes {:5.1}%", name, fe, be);
+        writeln!(csv, "{},{:.2},{:.2}", name, fe, be).unwrap();
     }
     save("table3", &csv);
 }
 
 /// Table 4: design-space size with and without local (per-kernel best
-/// dataflow order) constraints: the product over kernels of their
-/// admissible iteration orders, capped like the paper's estimate.
-fn table4() {
+/// dataflow order) constraints, plus the POG linear-extension counts for
+/// the first fused region (exact via the frontier DP in
+/// `Pog::count_orders`, `*` marks capped entries like the paper).
+fn table4(o: Opts) {
     println!("\n== Table 4: dataflow-order design-space size ==");
     let cap: u128 = 200_000_000;
-    let mut csv = String::from("model,unconstrained,capped,constrained\n");
+    let mut csv =
+        String::from("model,unconstrained,capped,constrained,pog_formats_only,pog_full\n");
     let ds = GraphDataset {
         name: "collab",
-        nodes: 64,
-        feats: 16,
+        nodes: if o.quick { 24 } else { 64 },
+        feats: if o.quick { 8 } else { 16 },
         density: 0.04,
         pattern: GraphPattern::PowerLaw,
     };
@@ -430,54 +545,95 @@ fn table4() {
                 con = con.saturating_mul(fact(n)).min(cap);
             }
         }
+        // POG-level counts for the leading fused region: mode orders alone
+        // vs mode orders + user dataflow constraints.
+        let region_len = m.program.exprs().len().min(2);
+        let (pog_fmt, pog_full) = match fuse_region(&m.program, 0..region_len) {
+            Ok(region) => {
+                let fmt = region.pog_formats_only.count_orders(cap);
+                let full = region.pog.count_orders(cap);
+                (
+                    format!("{}{}", fmt.0, if fmt.1 { "*" } else { "" }),
+                    format!("{}{}", full.0, if full.1 { "*" } else { "" }),
+                )
+            }
+            Err(_) => ("-".into(), "-".into()),
+        };
         println!(
-            "  {:10} unconstrained {}{}   constrained {}",
+            "  {:10} unconstrained {}{}   constrained {}   pog {} -> {}",
             name,
             un,
             if capped { "*" } else { "" },
-            con
+            con,
+            pog_fmt,
+            pog_full
         );
-        writeln!(csv, "{name},{un},{capped},{con}").unwrap();
+        writeln!(csv, "{name},{un},{capped},{con},{pog_fmt},{pog_full}").unwrap();
     }
     save("table4", &csv);
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let all = which == "all";
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut opts = Opts {
+        quick: false,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = it.next().expect("--threads takes a value");
+                opts.threads = v.parse().expect("--threads takes a positive integer");
+            }
+            _ => which.push(a),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |id: &str| all || which.iter().any(|w| w == id);
     let t0 = std::time::Instant::now();
-    if all || which == "fig1" {
-        fig1();
+    if want("fig1") {
+        fig1(opts);
     }
-    if all || which == "fig4b" {
-        fig4b();
+    if want("fig4b") {
+        fig4b(opts);
     }
-    if all || which == "fig12" {
-        fig12();
+    if want("fig12") {
+        fig12(opts);
     }
-    if all || which == "fig13" {
-        fig13();
+    if want("fig13") {
+        fig13(opts);
     }
-    if all || which == "fig14" {
-        fig14();
+    if want("fig14") {
+        fig14(opts);
     }
-    if all || which == "fig15" {
-        fig15();
+    if want("fig15") {
+        fig15(opts);
     }
-    if all || which == "fig16" {
-        fig16();
+    if want("fig16") {
+        fig16(opts);
     }
-    if all || which == "fig17" {
-        fig17();
+    if want("fig17") {
+        fig17(opts);
     }
-    if all || which == "fig18" {
-        fig18();
+    if want("fig18") {
+        fig18(opts);
     }
-    if all || which == "table3" {
-        table3();
+    if want("table3") {
+        table3(opts);
     }
-    if all || which == "table4" {
-        table4();
+    if want("table4") {
+        table4(opts);
     }
-    println!("\nDone in {:.1}s; CSVs in results/.", t0.elapsed().as_secs_f64());
+    println!(
+        "\nDone in {:.1}s ({} pool threads{}); CSVs in results/.",
+        t0.elapsed().as_secs_f64(),
+        opts.threads,
+        if opts.quick { ", --quick" } else { "" }
+    );
 }

@@ -178,37 +178,55 @@ impl Pog {
     }
 
     /// Counts linear extensions (the number of valid dataflow orders,
-    /// Table 4). Exact via bitmask DP up to 24 indices; larger POGs return
-    /// `cap` with `capped = true` (the paper's `*capped` annotation).
+    /// Table 4). Exact via a frontier bitmask DP up to 64 indices; larger
+    /// POGs return `cap` with `capped = true` (the paper's `*capped`
+    /// annotation).
+    ///
+    /// The DP walks prefix sizes level by level, keeping only the *frontier*
+    /// of reachable downsets in a `HashMap` rather than a dense `2^n` table
+    /// (256 MiB at the old `n = 24` cap, and impossible beyond `n = 27`).
+    /// Constrained POGs — the only ones whose counts stay under any
+    /// realistic cap — have few downsets per level, so the frontier stays
+    /// small; loosely-constrained POGs blow past `cap` within the first
+    /// dozen levels and return early. A frontier-size guard bounds memory
+    /// for adversarial shapes (many independent chains) whose counts grow
+    /// slower than their downset frontier.
     pub fn count_orders(&self, cap: u128) -> (u128, bool) {
-        if self.n > 24 {
+        const MAX_EXACT: usize = 64; // u64 prefix masks
+        const MAX_FRONTIER: usize = 1 << 20;
+        if self.n > MAX_EXACT {
             return (cap, true);
         }
-        // preds[v] = bitmask of vertices that must precede v.
-        let mut preds = vec![0u32; self.n];
-        for &(a, b) in &self.edges {
-            preds[b as usize] |= 1 << a;
+        if self.n == 0 {
+            return (1, false);
         }
-        let full = (1u32 << self.n) - 1; // n <= 24 per the early return above
-        let mut dp = vec![0u128; (full as usize) + 1];
-        dp[0] = 1;
-        for mask in 0..=full {
-            let base = dp[mask as usize];
-            if base == 0 {
-                continue;
-            }
-            for (v, &pred) in preds.iter().enumerate() {
-                let bit = 1u32 << v;
-                if mask & bit == 0 && (pred & !mask) == 0 {
-                    let next = (mask | bit) as usize;
-                    dp[next] = dp[next].saturating_add(base);
-                    if dp[next] > cap {
-                        return (cap, true);
+        // preds[v] = bitmask of vertices that must precede v.
+        let mut preds = vec![0u64; self.n];
+        for &(a, b) in &self.edges {
+            preds[b as usize] |= 1u64 << a;
+        }
+        let mut frontier: HashMap<u64, u128> = HashMap::from([(0u64, 1u128)]);
+        for _level in 0..self.n {
+            let mut next: HashMap<u64, u128> = HashMap::with_capacity(frontier.len());
+            for (&mask, &count) in &frontier {
+                for (v, &pred) in preds.iter().enumerate() {
+                    let bit = 1u64 << v;
+                    if mask & bit == 0 && pred & !mask == 0 {
+                        let entry = next.entry(mask | bit).or_insert(0);
+                        *entry = entry.saturating_add(count);
+                        if *entry > cap {
+                            return (cap, true);
+                        }
                     }
                 }
+                if next.len() > MAX_FRONTIER {
+                    return (cap, true);
+                }
             }
+            frontier = next;
         }
-        (dp[full as usize], false)
+        // A cyclic POG drains the frontier before reaching a full prefix.
+        (frontier.into_values().next().unwrap_or(0), false)
     }
 }
 
@@ -690,6 +708,35 @@ mod tests {
         assert_eq!(pog.all_orders(100).len(), 3);
         pog.add_edge(GlobalIx(1), GlobalIx(2));
         assert_eq!(pog.count_orders(u128::MAX >> 1), (1, false));
+    }
+
+    #[test]
+    fn pog_counts_exactly_past_the_old_24_index_cap() {
+        // A 40-index chain has exactly one linear extension; the old dense
+        // DP (2^n table, n <= 24) could only report "capped" here.
+        let mut chain = Pog::new(40);
+        for i in 0..39 {
+            chain.add_edge(GlobalIx(i), GlobalIx(i + 1));
+        }
+        assert_eq!(chain.count_orders(1 << 40), (1, false));
+
+        // Two interleaved 16-chains: C(32,16) extensions, still exact.
+        let mut two = Pog::new(32);
+        for i in 0..15u32 {
+            two.add_edge(GlobalIx(i), GlobalIx(i + 1));
+            two.add_edge(GlobalIx(16 + i), GlobalIx(16 + i + 1));
+        }
+        assert_eq!(two.count_orders(u128::MAX >> 1), (601_080_390, false));
+    }
+
+    #[test]
+    fn pog_count_caps_on_loose_constraints() {
+        // 30 unconstrained indices: 30! >> cap, reported as capped without
+        // materializing the 2^30 downset lattice.
+        let pog = Pog::new(30);
+        let (count, capped) = pog.count_orders(200_000_000);
+        assert_eq!(count, 200_000_000);
+        assert!(capped);
     }
 
     #[test]

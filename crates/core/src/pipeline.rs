@@ -172,6 +172,11 @@ pub struct RunResult {
 
 /// Executes a compiled program on the simulator.
 ///
+/// Regions run in order (later regions consume earlier regions' outputs
+/// through the environment); within each region the simulator shards the
+/// graph across [`SimConfig::threads`] workers with bit-identical results,
+/// so callers can set the knob freely without perturbing measurements.
+///
 /// # Errors
 ///
 /// See [`PipelineError`].

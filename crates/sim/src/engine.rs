@@ -5,11 +5,27 @@
 //! output port per cycle — the fully pipelined II=1 rate of SAM/Comal), then
 //! retires completed memory requests, then performs at most one *action*
 //! (consume input tokens, produce output tokens, issue DRAM requests).
-//! Bounded channels provide backpressure; the shared [`Dram`] model
-//! serializes bandwidth. Simulation ends when every writer has received
-//! `Done`.
+//! Bounded channels provide backpressure; a [`Dram`] model serializes
+//! bandwidth. Simulation ends when every writer has received `Done`.
+//!
+//! # Sharded parallel execution
+//!
+//! The graph is partitioned into its weakly-connected components
+//! ("shards"). Nodes only communicate through channels, and every channel
+//! connects two nodes of the same component, so shards share no mutable
+//! state: each shard owns its nodes, its channels, its clock, and a static
+//! 1/k slice of the configured DRAM bandwidth (so aggregate bandwidth
+//! matches the single shared channel; single-component graphs keep the
+//! full channel). A shard's simulation is therefore a pure function of
+//! the graph and the bound tensors, and shards can run on a scoped worker
+//! pool ([`SimConfig::threads`]) while staying **bit-identical** to the
+//! sequential `threads = 1` schedule: the only cross-shard interaction is
+//! the deterministic merge barrier at the end of the run (stats fold in
+//! shard order, the global cycle count is the max over shard clocks, and
+//! errors are reported for the lowest-indexed failing shard).
 
 use crate::dram::{AccessKind, Dram};
+use crate::pool::parallel_map;
 use crate::rebuild::assemble_output;
 use crate::stats::Stats;
 use crate::TimingConfig;
@@ -26,11 +42,28 @@ pub struct SimConfig {
     pub channel_capacity: usize,
     /// Hard cycle budget; exceeding it is an error.
     pub max_cycles: u64,
+    /// Worker threads for shard execution. `1` (the default) runs every
+    /// shard on the calling thread; larger values run weakly-connected
+    /// graph components concurrently with bit-identical results.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { timing: TimingConfig::comal(), channel_capacity: 256, max_cycles: 400_000_000 }
+        SimConfig {
+            timing: TimingConfig::comal(),
+            channel_capacity: 256,
+            max_cycles: 400_000_000,
+            threads: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with the shard worker-pool size set.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -196,164 +229,1184 @@ struct Rt {
     elems: u64,
 }
 
-impl Rt {
-    fn finished(&self) -> bool {
-        self.done && self.out_q.iter().all(|q| q.is_empty()) && self.pending_mem.is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Engine
-// ---------------------------------------------------------------------------
-
-struct Engine<'a> {
-    nodes: Vec<Rt>,
-    chans: Vec<Chan>,
-    tensors: Vec<&'a SparseTensor>,
-    tensor_locs: Vec<MemLocation>,
-    output_locs: Vec<MemLocation>,
-    dram: Dram,
-    now: u64,
+/// Everything a node step may read or charge that is not the node's own
+/// state: the shard's channels and DRAM slice, the read-only tensor
+/// bindings, and the shard clock plus its counters.
+struct Ctx<'a> {
+    chans: &'a mut [Chan],
+    dram: &'a mut Dram,
+    tensors: &'a [&'a SparseTensor],
+    tensor_locs: &'a [MemLocation],
+    output_locs: &'a [MemLocation],
     cfg: &'a SimConfig,
+    now: u64,
     flops: u64,
     pending_busy: u64,
 }
 
-/// Runs a SAMML graph on the given environment and configuration.
-///
-/// # Errors
-///
-/// See [`SimError`]; notably graphs must validate, every tensor slot must be
-/// bound, and the run must finish within `cfg.max_cycles`.
-pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<SimResult, SimError> {
-    graph.validate().map_err(SimError::Validation)?;
-    let tensors: Vec<&SparseTensor> = graph
-        .tensors()
-        .iter()
-        .map(|slot| env.get(&slot.name).ok_or_else(|| SimError::MissingTensor(slot.name.clone())))
-        .collect::<Result<_, _>>()?;
-    let tensor_locs: Vec<MemLocation> = graph
-        .tensors()
-        .iter()
-        .map(|s| if cfg.timing.honor_on_chip { s.location } else { MemLocation::Dram })
-        .collect();
-    let output_locs: Vec<MemLocation> = graph
-        .outputs()
-        .iter()
-        .map(|s| if cfg.timing.honor_on_chip { s.location } else { MemLocation::Dram })
-        .collect();
+impl Ctx<'_> {
+    /// Records a multi-cycle occupancy requested by the current action
+    /// (block ALU contractions); committed by the action epilogue.
+    fn busy(&mut self, cycles: u64) {
+        self.pending_busy = self.pending_busy.max(cycles);
+    }
+}
 
-    // Build channels: one per edge.
-    let mut chans = Vec::new();
-    let fanin = graph.fanin();
-    let fanout = graph.fanout();
-    let mut edge_chan: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
-    for e in graph.edges() {
-        let id = chans.len();
-        chans.push(Chan::new(cfg.channel_capacity));
-        edge_chan.insert((e.src.node.0, e.src.port, e.dst.node.0, e.dst.port), id);
+impl Rt {
+    fn finished(&self) -> bool {
+        self.done && self.out_q.iter().all(|q| q.is_empty()) && self.pending_mem.is_empty()
     }
 
-    let mut nodes = Vec::with_capacity(graph.node_count());
-    for (i, kind) in graph.nodes().iter().enumerate() {
-        let n_in = kind.input_ports().len();
-        let n_out = kind.output_ports().len();
-        let mut in_chans = vec![None; n_in];
-        for p in 0..n_in {
-            if let Some(src) = fanin.get(&(fuseflow_sam::NodeId(i), p)) {
-                in_chans[p] = Some(edge_chan[&(src.node.0, src.port, i, p)]);
-            }
-        }
-        let mut out_chans = vec![Vec::new(); n_out];
-        for p in 0..n_out {
-            if let Some(dsts) = fanout.get(&(fuseflow_sam::NodeId(i), p)) {
-                for d in dsts {
-                    out_chans[p].push(edge_chan[&(i, p, d.node.0, d.port)]);
-                }
-            }
-        }
-        nodes.push(make_rt(
-            kind.clone(),
-            graph.label(fuseflow_sam::NodeId(i)).to_string(),
-            in_chans,
-            out_chans,
-            &cfg.timing,
-        ));
-    }
-
-    let order: Vec<usize> = graph
-        .topo_order()
-        .expect("validated graphs are acyclic")
-        .into_iter()
-        .map(|n| n.0)
-        .collect();
-
-    let mut engine = Engine {
-        nodes,
-        chans,
-        tensors,
-        tensor_locs,
-        output_locs,
-        dram: Dram::new(
-            cfg.timing.dram_bytes_per_cycle,
-            cfg.timing.dram_stream_latency,
-            cfg.timing.dram_random_latency,
-        ),
-        now: 0,
-        cfg,
-        flops: 0,
-        pending_busy: 0,
-    };
-    engine.run(&order)?;
-
-    // Collect writer streams per output slot.
-    let mut stats = Stats {
-        cycles: engine.now,
-        dram_read_bytes: engine.dram.read_bytes(),
-        dram_write_bytes: engine.dram.write_bytes(),
-        flops: engine.flops,
-        node_tokens: HashMap::new(),
-    };
-    for rt in &engine.nodes {
-        *stats.node_tokens.entry(rt.label.clone()).or_insert(0) += rt.elems;
-    }
-
-    let mut outputs = HashMap::new();
-    for (oi, slot) in graph.outputs().iter().enumerate() {
-        let mut crd_streams: Vec<Option<Vec<Token>>> = vec![None; slot.format.order()];
-        let mut vals: Option<Vec<Token>> = None;
-        for rt in &engine.nodes {
-            match &rt.kind {
-                NodeKind::CrdWriter { output, level } if *output == oi => {
-                    if let State::Writer { tokens } = &rt.state {
-                        crd_streams[*level] = Some(tokens.clone());
-                    }
-                }
-                NodeKind::ValWriter { output } if *output == oi => {
-                    if let State::Writer { tokens } = &rt.state {
-                        vals = Some(tokens.clone());
-                    }
-                }
-                _ => {}
-            }
-        }
-        let crd_streams: Vec<Vec<Token>> = crd_streams
+    /// Earliest future wake-up time held by this node (pending memory
+    /// retirements or a busy ALU), if any.
+    fn next_wake(&self, now: u64) -> Option<u64> {
+        self.pending_mem
+            .front()
+            .map(|x| x.1)
             .into_iter()
-            .enumerate()
-            .map(|(l, s)| {
-                s.ok_or(SimError::Rebuild(format!(
-                    "output '{}' missing level {l} writer",
-                    slot.name
-                )))
-            })
-            .collect::<Result<_, _>>()?;
-        let vals =
-            vals.ok_or(SimError::Rebuild(format!("output '{}' missing value writer", slot.name)))?;
-        let t = assemble_output(slot, &crd_streams, &vals).map_err(SimError::Rebuild)?;
-        outputs.insert(slot.name.clone(), t);
+            .chain((self.busy_until > now).then_some(self.busy_until))
+            .filter(|&t| t > now)
+            .min()
     }
 
-    Ok(SimResult { outputs, stats })
+    // -- channel access ----------------------------------------------------
+
+    fn peek<'c>(&self, ctx: &'c Ctx, port: usize) -> Option<&'c Token> {
+        self.in_chans[port].and_then(|c| ctx.chans[c].buf.front())
+    }
+
+    fn peek_at<'c>(&self, ctx: &'c Ctx, port: usize, idx: usize) -> Option<&'c Token> {
+        self.in_chans[port].and_then(|c| ctx.chans[c].buf.get(idx))
+    }
+
+    fn connected(&self, port: usize) -> bool {
+        self.in_chans[port].is_some()
+    }
+
+    fn pop(&self, ctx: &mut Ctx, port: usize) -> Token {
+        let c = self.in_chans[port].expect("pop from unconnected port");
+        ctx.chans[c].buf.pop_front().expect("pop from empty channel")
+    }
+
+    /// Can one token be pushed to every fan-out channel of this port?
+    fn can_flush(&self, ctx: &Ctx, port: usize) -> bool {
+        self.out_chans[port].iter().all(|&c| ctx.chans[c].buf.len() < ctx.chans[c].cap)
+    }
+
+    /// Pops a coordinate-side token together with its payload companion (if
+    /// the payload port is connected); returns the payload token.
+    fn pop_side(&self, ctx: &mut Ctx, crd_port: usize, pay_port: usize) -> Option<Token> {
+        let _crd = self.pop(ctx, crd_port);
+        if self.connected(pay_port) {
+            Some(self.pop(ctx, pay_port))
+        } else {
+            None
+        }
+    }
+
+    /// Payload heads available whenever their crd side has a token?
+    fn side_ready(&self, ctx: &Ctx, pay_port: usize) -> bool {
+        !self.connected(pay_port) || self.peek(ctx, pay_port).is_some()
+    }
+
+    // -- the per-cycle step ------------------------------------------------
+
+    fn step(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let mut progress = false;
+
+        // Phase 1: flush one queued token per output port.
+        for port in 0..self.out_q.len() {
+            if self.out_q[port].is_empty() {
+                continue;
+            }
+            if self.out_chans[port].is_empty() {
+                // Unconnected port: discard.
+                self.out_q[port].clear();
+                continue;
+            }
+            if self.can_flush(ctx, port) {
+                let tok = self.out_q[port].pop_front().expect("nonempty");
+                if tok.is_elem() {
+                    self.elems += 1;
+                }
+                for &c in &self.out_chans[port] {
+                    ctx.chans[c].buf.push_back(tok.clone());
+                }
+                progress = true;
+            }
+        }
+
+        // Phase 2: retire completed memory requests into the output queues
+        // (or drop them, for writers).
+        while let Some((_, ready, _)) = self.pending_mem.front() {
+            if *ready > ctx.now {
+                break;
+            }
+            let (tok, _, port) = self.pending_mem.pop_front().expect("nonempty");
+            let is_writer =
+                matches!(self.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. });
+            if !is_writer {
+                self.out_q[port].push_back(tok);
+            }
+            progress = true;
+        }
+
+        // Phase 3: one action, if not busy and output queues drained.
+        if self.done || ctx.now < self.busy_until || self.out_q.iter().any(|q| !q.is_empty()) {
+            return Ok(progress);
+        }
+        let acted = self.action(ctx)?;
+        if acted {
+            let ii = self.ii_extra;
+            if ii > 0 {
+                self.busy_until = ctx.now + 1 + ii;
+            }
+        }
+        Ok(progress || acted)
+    }
+
+    // -- individual node actions ------------------------------------------
+
+    fn action(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        match &self.kind {
+            NodeKind::Root => self.act_root(),
+            NodeKind::LevelScanner { .. } => self.act_scan(ctx),
+            NodeKind::Repeat => self.act_repeat(ctx),
+            NodeKind::Intersect => self.act_join(ctx, JoinMode::Intersect),
+            NodeKind::Union => self.act_join(ctx, JoinMode::Union),
+            NodeKind::UnionLeft => self.act_join(ctx, JoinMode::UnionLeft),
+            NodeKind::Array { .. } => self.act_array(ctx),
+            NodeKind::Alu { .. } => self.act_alu(ctx),
+            NodeKind::Reduce { .. } => self.act_reduce(ctx),
+            NodeKind::Spacc1 { .. } => self.act_spacc(ctx),
+            NodeKind::CrdDrop => self.act_crddrop(ctx),
+            NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => self.act_writer(ctx),
+            NodeKind::Parallelizer { .. } => self.act_par(ctx),
+            NodeKind::Serializer { .. } => self.act_ser(ctx),
+        }
+    }
+
+    fn act_root(&mut self) -> Result<bool, SimError> {
+        let State::Root { emitted } = &mut self.state else { unreachable!() };
+        match *emitted {
+            0 => {
+                *emitted = 1;
+                self.out_q[0].push_back(Token::idx(0));
+            }
+            1 => {
+                *emitted = 2;
+                self.out_q[0].push_back(Token::Done);
+                self.done = true;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn act_scan(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::LevelScanner { tensor, level } = self.kind else { unreachable!() };
+        let compressed = matches!(ctx.tensors[tensor].level(level), Level::Compressed { .. });
+        let in_dram = ctx.tensor_locs[tensor] == MemLocation::Dram;
+        let outstanding = ctx.cfg.timing.outstanding;
+
+        let emitting = matches!(&self.state, State::Scan(s) if s.emitting);
+        if emitting {
+            let (cur, len) = match &self.state {
+                State::Scan(s) => (s.fidx, s.fiber.len()),
+                _ => unreachable!(),
+            };
+            if cur < len {
+                if self.pending_mem.len() >= outstanding {
+                    return Ok(false);
+                }
+                let ready = if compressed && in_dram {
+                    ctx.dram.request(ctx.now, 4, AccessKind::Stream, false)
+                } else {
+                    ctx.now
+                };
+                let State::Scan(s) = &mut self.state else { unreachable!() };
+                let (c, p) = s.fiber[s.fidx];
+                s.fidx += 1;
+                self.pending_mem.push_back((Token::idx(c), ready, 0));
+                self.pending_mem.push_back((Token::idx(p as u32), ready, 1));
+                return Ok(true);
+            }
+            // Fiber boundary (stops flow through the in-order pending
+            // queue so they never overtake memory-delayed elements).
+            let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+            let head = head.clone();
+            let State::Scan(s) = &mut self.state else { unreachable!() };
+            s.emitting = false;
+            let now = ctx.now;
+            match head {
+                Token::Elem(_) | Token::Done => {
+                    self.pending_mem.push_back((Token::Stop(0), now, 0));
+                    self.pending_mem.push_back((Token::Stop(0), now, 1));
+                }
+                Token::Stop(k) => {
+                    self.pop(ctx, 0);
+                    self.pending_mem.push_back((Token::Stop(k + 1), now, 0));
+                    self.pending_mem.push_back((Token::Stop(k + 1), now, 1));
+                }
+            }
+            return Ok(true);
+        }
+
+        // Idle: load the next fiber or forward boundaries.
+        let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+        let head = head.clone();
+        match head {
+            Token::Elem(Payload::Idx(r)) => {
+                self.pop(ctx, 0);
+                if compressed && in_dram {
+                    // pos-array read for the fiber bounds.
+                    let _ = ctx.dram.request(ctx.now, 8, AccessKind::Stream, false);
+                }
+                let fiber: Vec<(u32, usize)> =
+                    ctx.tensors[tensor].level(level).fiber(r as usize).collect();
+                let State::Scan(s) = &mut self.state else { unreachable!() };
+                s.fiber = fiber;
+                s.fidx = 0;
+                s.emitting = true;
+            }
+            Token::Elem(Payload::Empty) => {
+                self.pop(ctx, 0);
+                let State::Scan(s) = &mut self.state else { unreachable!() };
+                s.fiber = Vec::new();
+                s.fidx = 0;
+                s.emitting = true;
+            }
+            Token::Elem(other) => {
+                return Err(SimError::Semantics(format!("scanner received payload {other:?}")))
+            }
+            Token::Stop(k) => {
+                self.pop(ctx, 0);
+                let now = ctx.now;
+                self.pending_mem.push_back((Token::Stop(k + 1), now, 0));
+                self.pending_mem.push_back((Token::Stop(k + 1), now, 1));
+            }
+            Token::Done => {
+                self.pop(ctx, 0);
+                let now = ctx.now;
+                self.pending_mem.push_back((Token::Done, now, 0));
+                self.pending_mem.push_back((Token::Done, now, 1));
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_repeat(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let Some(rep_head) = self.peek(ctx, 1) else { return Ok(false) };
+        let rep_head = rep_head.clone();
+        match rep_head {
+            Token::Elem(_) => {
+                let loaded = matches!(&self.state, State::Repeat(r) if r.cur_base.is_some());
+                if !loaded {
+                    let Some(base) = self.peek(ctx, 0) else { return Ok(false) };
+                    match base {
+                        Token::Elem(p) => {
+                            let p = p.clone();
+                            self.pop(ctx, 0);
+                            let State::Repeat(r) = &mut self.state else { unreachable!() };
+                            r.cur_base = Some(p);
+                        }
+                        other => {
+                            return Err(SimError::Semantics(format!(
+                                "repeat expected base element, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                self.pop(ctx, 1);
+                let State::Repeat(r) = &self.state else { unreachable!() };
+                let p = r.cur_base.clone().expect("loaded above");
+                self.out_q[0].push_back(Token::Elem(p));
+            }
+            Token::Stop(k) => {
+                // Close the pairing: discard the base element for this rep
+                // fiber (it may be unloaded if the fiber was empty), then
+                // consume the aligned base stop for k >= 1.
+                let loaded = matches!(&self.state, State::Repeat(r) if r.cur_base.is_some());
+                let mut base_idx = 0usize;
+                if !loaded {
+                    match self.peek_at(ctx, 0, base_idx) {
+                        Some(Token::Elem(_)) => base_idx += 1, // will discard
+                        Some(_) => {}
+                        None => return Ok(false),
+                    }
+                }
+                if k >= 1 {
+                    match self.peek_at(ctx, 0, base_idx) {
+                        Some(Token::Stop(bk)) if *bk == k - 1 => base_idx += 1,
+                        Some(other) => {
+                            return Err(SimError::Semantics(format!(
+                                "repeat base misaligned: rep Stop({k}) vs base {other:?}"
+                            )))
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                // Commit.
+                self.pop(ctx, 1);
+                for _ in 0..base_idx {
+                    self.pop(ctx, 0);
+                }
+                let State::Repeat(r) = &mut self.state else { unreachable!() };
+                r.cur_base = None;
+                self.out_q[0].push_back(Token::Stop(k));
+            }
+            Token::Done => {
+                match self.peek(ctx, 0) {
+                    Some(Token::Done) => {}
+                    Some(other) => {
+                        return Err(SimError::Semantics(format!(
+                            "repeat base should be Done, found {other:?}"
+                        )))
+                    }
+                    None => return Ok(false),
+                }
+                self.pop(ctx, 1);
+                self.pop(ctx, 0);
+                self.out_q[0].push_back(Token::Done);
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_join(&mut self, ctx: &mut Ctx, mode: JoinMode) -> Result<bool, SimError> {
+        let (Some(a), Some(b)) = (self.peek(ctx, 0), self.peek(ctx, 2)) else {
+            return Ok(false);
+        };
+        let (a, b) = (a.clone(), b.clone());
+        if !self.side_ready(ctx, 1) || !self.side_ready(ctx, 3) {
+            return Ok(false);
+        }
+        match (&a, &b) {
+            (Token::Elem(ca), Token::Elem(cb)) => {
+                let (ia, ib) = (ca.idx(), cb.idx());
+                if ia == ib {
+                    let pa = self.pop_side(ctx, 0, 1);
+                    let pb = self.pop_side(ctx, 2, 3);
+                    self.out_q[0].push_back(Token::idx(ia));
+                    if let Some(t) = pa {
+                        self.out_q[1].push_back(t);
+                    }
+                    if let Some(t) = pb {
+                        self.out_q[2].push_back(t);
+                    }
+                } else if ia < ib {
+                    match mode {
+                        JoinMode::Intersect => {
+                            let _ = self.pop_side(ctx, 0, 1);
+                        }
+                        JoinMode::Union | JoinMode::UnionLeft => {
+                            let pa = self.pop_side(ctx, 0, 1);
+                            self.out_q[0].push_back(Token::idx(ia));
+                            if let Some(t) = pa {
+                                self.out_q[1].push_back(t);
+                            }
+                            self.out_q[2].push_back(Token::Elem(Payload::Empty));
+                        }
+                    }
+                } else {
+                    match mode {
+                        JoinMode::Intersect | JoinMode::UnionLeft => {
+                            let _ = self.pop_side(ctx, 2, 3);
+                        }
+                        JoinMode::Union => {
+                            let pb = self.pop_side(ctx, 2, 3);
+                            self.out_q[0].push_back(Token::idx(ib));
+                            self.out_q[1].push_back(Token::Elem(Payload::Empty));
+                            if let Some(t) = pb {
+                                self.out_q[2].push_back(t);
+                            }
+                        }
+                    }
+                }
+            }
+            (Token::Elem(ca), Token::Stop(_)) => match mode {
+                JoinMode::Intersect => {
+                    let _ = self.pop_side(ctx, 0, 1);
+                }
+                JoinMode::Union | JoinMode::UnionLeft => {
+                    let ia = ca.idx();
+                    let pa = self.pop_side(ctx, 0, 1);
+                    self.out_q[0].push_back(Token::idx(ia));
+                    if let Some(t) = pa {
+                        self.out_q[1].push_back(t);
+                    }
+                    self.out_q[2].push_back(Token::Elem(Payload::Empty));
+                }
+            },
+            (Token::Stop(_), Token::Elem(cb)) => match mode {
+                JoinMode::Intersect | JoinMode::UnionLeft => {
+                    let _ = self.pop_side(ctx, 2, 3);
+                }
+                JoinMode::Union => {
+                    let ib = cb.idx();
+                    let pb = self.pop_side(ctx, 2, 3);
+                    self.out_q[0].push_back(Token::idx(ib));
+                    self.out_q[1].push_back(Token::Elem(Payload::Empty));
+                    if let Some(t) = pb {
+                        self.out_q[2].push_back(t);
+                    }
+                }
+            },
+            (Token::Stop(ka), Token::Stop(kb)) => {
+                if ka != kb {
+                    return Err(SimError::Semantics(format!(
+                        "join stop mismatch: {ka} vs {kb} at {}",
+                        self.label
+                    )));
+                }
+                let k = *ka;
+                let _ = self.pop_side(ctx, 0, 1);
+                let _ = self.pop_side(ctx, 2, 3);
+                self.out_q[0].push_back(Token::Stop(k));
+                self.out_q[1].push_back(Token::Stop(k));
+                self.out_q[2].push_back(Token::Stop(k));
+            }
+            (Token::Done, Token::Done) => {
+                let _ = self.pop_side(ctx, 0, 1);
+                let _ = self.pop_side(ctx, 2, 3);
+                for q in 0..3 {
+                    self.out_q[q].push_back(Token::Done);
+                }
+                self.done = true;
+            }
+            (x, y) => {
+                return Err(SimError::Semantics(format!(
+                    "join token mismatch: {x:?} vs {y:?} at {}",
+                    self.label
+                )))
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_array(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Array { tensor } = self.kind else { unreachable!() };
+        if self.pending_mem.len() >= ctx.cfg.timing.outstanding {
+            return Ok(false);
+        }
+        let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+        let head = head.clone();
+        let t = ctx.tensors[tensor];
+        let in_dram = ctx.tensor_locs[tensor] == MemLocation::Dram;
+        match head {
+            Token::Elem(Payload::Idx(r)) => {
+                self.pop(ctx, 0);
+                let (payload, bytes) = if t.is_blocked() {
+                    let [b0, b1] = t.block();
+                    let blk = Block::new(b0, b1, t.val_block(r as usize).to_vec());
+                    (Payload::Blk(blk), (b0 * b1 * 4) as u64)
+                } else {
+                    (Payload::F(t.val(r as usize)), 4)
+                };
+                let ready = if in_dram {
+                    ctx.dram.request(ctx.now, bytes, AccessKind::Random, false)
+                } else {
+                    ctx.now
+                };
+                self.pending_mem.push_back((Token::Elem(payload), ready, 0));
+            }
+            Token::Elem(Payload::Empty) => {
+                self.pop(ctx, 0);
+                let payload = if t.is_blocked() {
+                    let [b0, b1] = t.block();
+                    Payload::Blk(Block::zeros(b0, b1))
+                } else {
+                    Payload::F(0.0)
+                };
+                self.pending_mem.push_back((Token::Elem(payload), ctx.now, 0));
+            }
+            Token::Elem(other) => {
+                return Err(SimError::Semantics(format!("array received payload {other:?}")))
+            }
+            Token::Stop(k) => {
+                self.pop(ctx, 0);
+                self.pending_mem.push_back((Token::Stop(k), ctx.now, 0));
+            }
+            Token::Done => {
+                self.pop(ctx, 0);
+                self.pending_mem.push_back((Token::Done, ctx.now, 0));
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_alu(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Alu { op } = self.kind else { unreachable!() };
+        ctx.pending_busy = 0;
+        if op.arity() == 1 {
+            let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+            let head = head.clone();
+            match head {
+                Token::Elem(p) => {
+                    self.pop(ctx, 0);
+                    let out = alu_unary(ctx, op, p);
+                    self.out_q[0].push_back(Token::Elem(out));
+                }
+                Token::Stop(k) => {
+                    self.pop(ctx, 0);
+                    self.out_q[0].push_back(Token::Stop(k));
+                }
+                Token::Done => {
+                    self.pop(ctx, 0);
+                    self.out_q[0].push_back(Token::Done);
+                    self.done = true;
+                }
+            }
+        } else {
+            let (Some(a), Some(b)) = (self.peek(ctx, 0), self.peek(ctx, 1)) else {
+                return Ok(false);
+            };
+            let (a, b) = (a.clone(), b.clone());
+            match (a, b) {
+                (Token::Elem(pa), Token::Elem(pb)) => {
+                    self.pop(ctx, 0);
+                    self.pop(ctx, 1);
+                    let out = alu_combine(ctx, op, pa, pb)?;
+                    self.out_q[0].push_back(Token::Elem(out));
+                }
+                (Token::Stop(ka), Token::Stop(kb)) if ka == kb => {
+                    self.pop(ctx, 0);
+                    self.pop(ctx, 1);
+                    self.out_q[0].push_back(Token::Stop(ka));
+                }
+                (Token::Done, Token::Done) => {
+                    self.pop(ctx, 0);
+                    self.pop(ctx, 1);
+                    self.out_q[0].push_back(Token::Done);
+                    self.done = true;
+                }
+                (x, y) => {
+                    return Err(SimError::Semantics(format!(
+                        "alu stream misalignment: {x:?} vs {y:?} at {}",
+                        self.label
+                    )))
+                }
+            }
+        }
+        if ctx.pending_busy > 0 {
+            self.busy_until = ctx.now + ctx.pending_busy;
+        }
+        Ok(true)
+    }
+
+    fn act_reduce(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Reduce { op } = self.kind else { unreachable!() };
+        let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+        let head = head.clone();
+        match head {
+            Token::Elem(p) => {
+                self.pop(ctx, 0);
+                let State::Reduce { acc } = &mut self.state else { unreachable!() };
+                let mut extra_flops = 0u64;
+                let new = match (acc.take(), p) {
+                    (None, p) => p,
+                    (Some(Payload::F(a)), Payload::F(b)) => {
+                        extra_flops += 1;
+                        Payload::F(op.apply(a, b))
+                    }
+                    (Some(Payload::F(a)), Payload::Empty)
+                    | (Some(Payload::Empty), Payload::F(a)) => {
+                        Payload::F(op.apply(a, op.identity()))
+                    }
+                    (Some(Payload::Blk(a)), Payload::Blk(b)) => {
+                        extra_flops += a.len() as u64;
+                        Payload::Blk(a.zip(&b, |x, y| op.apply(x, y)))
+                    }
+                    (Some(a), b) => {
+                        return Err(SimError::Semantics(format!("reduce operands {a:?} / {b:?}")))
+                    }
+                };
+                *acc = Some(new);
+                ctx.flops += extra_flops;
+            }
+            Token::Stop(k) => {
+                self.pop(ctx, 0);
+                let State::Reduce { acc } = &mut self.state else { unreachable!() };
+                let out = acc.take().unwrap_or(Payload::F(op.identity()));
+                self.out_q[0].push_back(Token::Elem(out));
+                if k >= 1 {
+                    self.out_q[0].push_back(Token::Stop(k - 1));
+                }
+            }
+            Token::Done => {
+                self.pop(ctx, 0);
+                self.out_q[0].push_back(Token::Done);
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_spacc(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Spacc1 { op } = self.kind else { unreachable!() };
+        let (Some(c), Some(v)) = (self.peek(ctx, 0), self.peek(ctx, 1)) else {
+            return Ok(false);
+        };
+        let (c, v) = (c.clone(), v.clone());
+        match (c, v) {
+            (Token::Elem(pc), Token::Elem(pv)) => {
+                self.pop(ctx, 0);
+                self.pop(ctx, 1);
+                let key = pc.idx();
+                let mut extra_flops = 0u64;
+                let State::Spacc { map } = &mut self.state else { unreachable!() };
+                match map.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(pv);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let merged = match (e.get().clone(), pv) {
+                            (Payload::F(a), Payload::F(b)) => {
+                                extra_flops += 1;
+                                Payload::F(op.apply(a, b))
+                            }
+                            (Payload::Blk(a), Payload::Blk(b)) => {
+                                extra_flops += a.len() as u64;
+                                Payload::Blk(a.zip(&b, |x, y| op.apply(x, y)))
+                            }
+                            (Payload::Empty, p) | (p, Payload::Empty) => p,
+                            (a, b) => {
+                                return Err(SimError::Semantics(format!(
+                                    "spacc operands {a:?} / {b:?}"
+                                )))
+                            }
+                        };
+                        e.insert(merged);
+                    }
+                }
+                ctx.flops += extra_flops;
+            }
+            (Token::Stop(kc), Token::Stop(kv)) => {
+                if kc != kv {
+                    return Err(SimError::Semantics(format!("spacc stop mismatch {kc} vs {kv}")));
+                }
+                self.pop(ctx, 0);
+                self.pop(ctx, 1);
+                if kc >= 1 {
+                    let State::Spacc { map } = &mut self.state else { unreachable!() };
+                    let drained: Vec<(u32, Payload)> = std::mem::take(map).into_iter().collect();
+                    for (c, v) in drained {
+                        self.out_q[0].push_back(Token::idx(c));
+                        self.out_q[1].push_back(Token::Elem(v));
+                    }
+                    self.out_q[0].push_back(Token::Stop(kc - 1));
+                    self.out_q[1].push_back(Token::Stop(kc - 1));
+                }
+                // Stop(0) boundaries separate the fibers being accumulated:
+                // keep accumulating.
+            }
+            (Token::Done, Token::Done) => {
+                self.pop(ctx, 0);
+                self.pop(ctx, 1);
+                let State::Spacc { map } = &self.state else { unreachable!() };
+                if !map.is_empty() {
+                    return Err(SimError::Semantics(
+                        "spacc reached Done with unflushed state".into(),
+                    ));
+                }
+                self.out_q[0].push_back(Token::Done);
+                self.out_q[1].push_back(Token::Done);
+                self.done = true;
+            }
+            (x, y) => {
+                return Err(SimError::Semantics(format!(
+                    "spacc stream misalignment: {x:?} vs {y:?}"
+                )))
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_crddrop(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let mut progress = false;
+        for port in 0..2 {
+            if self.peek(ctx, port).is_some() {
+                let tok = self.pop(ctx, port);
+                let State::CrdDrop { done0, done1 } = &mut self.state else { unreachable!() };
+                if tok == Token::Done {
+                    if port == 0 {
+                        *done0 = true;
+                    } else {
+                        *done1 = true;
+                    }
+                }
+                let finished = *done0 && *done1;
+                self.out_q[port].push_back(tok);
+                if finished {
+                    self.done = true;
+                }
+                progress = true;
+            }
+        }
+        Ok(progress)
+    }
+
+    fn act_writer(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        if self.pending_mem.len() >= ctx.cfg.timing.outstanding {
+            return Ok(false);
+        }
+        let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+        let head = head.clone();
+        let output = match self.kind {
+            NodeKind::CrdWriter { output, .. } | NodeKind::ValWriter { output } => output,
+            _ => unreachable!(),
+        };
+        let in_dram = ctx.output_locs[output] == MemLocation::Dram;
+        self.pop(ctx, 0);
+        if let Token::Elem(p) = &head {
+            let bytes = match p {
+                Payload::Blk(b) => (b.len() * 4) as u64,
+                _ => 4,
+            };
+            let ready = if in_dram {
+                ctx.dram.request(ctx.now, bytes, AccessKind::Stream, true)
+            } else {
+                ctx.now
+            };
+            self.pending_mem.push_back((Token::Stop(0), ready, 0));
+            self.elems += 1;
+        }
+        if head == Token::Done {
+            self.done = true;
+        }
+        let State::Writer { tokens } = &mut self.state else { unreachable!() };
+        tokens.push(head);
+        Ok(true)
+    }
+
+    fn act_par(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Parallelizer { factor } = self.kind else { unreachable!() };
+        let has_payload = self.connected(1);
+        let Some(head) = self.peek(ctx, 0) else { return Ok(false) };
+        let head = head.clone();
+        if has_payload && self.peek(ctx, 1).is_none() {
+            return Ok(false);
+        }
+        match head {
+            Token::Elem(_) => {
+                let c = self.pop(ctx, 0);
+                let State::Par { rr } = &mut self.state else { unreachable!() };
+                let b = *rr;
+                *rr = (*rr + 1) % factor;
+                self.out_q[2 * b].push_back(c);
+                if has_payload {
+                    let p = self.pop(ctx, 1);
+                    self.out_q[2 * b + 1].push_back(p);
+                }
+            }
+            Token::Stop(k) => {
+                self.pop(ctx, 0);
+                if has_payload {
+                    let p = self.pop(ctx, 1);
+                    if p != Token::Stop(k) {
+                        return Err(SimError::Semantics(format!(
+                            "parallelizer payload misaligned: {p:?} vs Stop({k})"
+                        )));
+                    }
+                }
+                let State::Par { rr } = &mut self.state else { unreachable!() };
+                *rr = 0;
+                for b in 0..factor {
+                    self.out_q[2 * b].push_back(Token::Stop(k));
+                    if has_payload {
+                        self.out_q[2 * b + 1].push_back(Token::Stop(k));
+                    }
+                }
+            }
+            Token::Done => {
+                self.pop(ctx, 0);
+                if has_payload {
+                    self.pop(ctx, 1);
+                }
+                for b in 0..factor {
+                    self.out_q[2 * b].push_back(Token::Done);
+                    if has_payload {
+                        self.out_q[2 * b + 1].push_back(Token::Done);
+                    }
+                }
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+
+    fn act_ser(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        let NodeKind::Serializer { factor, depth } = self.kind else { unreachable!() };
+        let order_port = factor;
+        let (cur, in_unit, pending) = {
+            let State::Ser(st) = &self.state else { unreachable!() };
+            (st.cur, st.in_unit, st.pending_unit)
+        };
+
+        if in_unit {
+            // Pull the current unit's tokens from branch `cur`.
+            let Some(head) = self.peek(ctx, cur) else { return Ok(false) };
+            let head = head.clone();
+            match head {
+                Token::Elem(_) => {
+                    let tok = self.pop(ctx, cur);
+                    self.out_q[0].push_back(tok);
+                }
+                Token::Stop(k) if depth >= 1 && k == depth - 1 => {
+                    // Ordinary unit boundary.
+                    self.pop(ctx, cur);
+                    let State::Ser(st) = &mut self.state else { unreachable!() };
+                    st.in_unit = false;
+                    st.pending_unit = true;
+                    st.cur = (st.cur + 1) % factor;
+                }
+                Token::Stop(k) if k + 1 < depth => {
+                    // Interior stop: part of this unit.
+                    let tok = self.pop(ctx, cur);
+                    self.out_q[0].push_back(tok);
+                }
+                Token::Stop(_) => {
+                    // The unit's boundary coalesced into a barrier stop: the
+                    // unit is over, but the barrier token is consumed later
+                    // by the order-stream barrier action.
+                    let State::Ser(st) = &mut self.state else { unreachable!() };
+                    st.in_unit = false;
+                    st.pending_unit = true;
+                    st.cur = (st.cur + 1) % factor;
+                }
+                Token::Done => {
+                    return Err(SimError::Semantics("serializer branch finished mid-unit".into()))
+                }
+            }
+            return Ok(true);
+        }
+
+        let Some(order_head) = self.peek(ctx, order_port) else { return Ok(false) };
+        let order_head = order_head.clone();
+        match order_head {
+            Token::Elem(_) => {
+                if pending {
+                    // Close the previous unit before starting the next one.
+                    self.out_q[0].push_back(Token::Stop(depth - 1));
+                    let State::Ser(st) = &mut self.state else { unreachable!() };
+                    st.pending_unit = false;
+                    return Ok(true);
+                }
+                if depth == 0 {
+                    // Units are single elements.
+                    let Some(bh) = self.peek(ctx, cur) else { return Ok(false) };
+                    match bh {
+                        Token::Elem(_) => {
+                            self.pop(ctx, order_port);
+                            let tok = self.pop(ctx, cur);
+                            self.out_q[0].push_back(tok);
+                            let State::Ser(st) = &mut self.state else { unreachable!() };
+                            st.cur = (st.cur + 1) % factor;
+                        }
+                        other => {
+                            return Err(SimError::Semantics(format!(
+                                "serializer depth-0 expected element, found {other:?}"
+                            )))
+                        }
+                    }
+                } else {
+                    // Check for a coalesced-empty unit before committing.
+                    let Some(bh) = self.peek(ctx, cur) else { return Ok(false) };
+                    let coalesced = matches!(bh, Token::Stop(k) if *k >= depth);
+                    self.pop(ctx, order_port);
+                    let State::Ser(st) = &mut self.state else { unreachable!() };
+                    if coalesced {
+                        st.pending_unit = true;
+                        st.cur = (st.cur + 1) % factor;
+                    } else {
+                        st.in_unit = true;
+                    }
+                }
+            }
+            Token::Stop(k) => {
+                // Barrier: every branch holds the corresponding deeper stop.
+                for b in 0..factor {
+                    match self.peek_at(ctx, b, 0) {
+                        Some(Token::Stop(bk)) if *bk == k + depth => {}
+                        Some(other) => {
+                            return Err(SimError::Semantics(format!(
+                                "serializer barrier mismatch on branch {b}: {other:?} vs Stop({})",
+                                k + depth
+                            )))
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                self.pop(ctx, order_port);
+                for b in 0..factor {
+                    self.pop(ctx, b);
+                }
+                self.out_q[0].push_back(Token::Stop(k + depth));
+                let State::Ser(st) = &mut self.state else { unreachable!() };
+                st.pending_unit = false;
+                st.cur = 0;
+            }
+            Token::Done => {
+                for b in 0..factor {
+                    match self.peek_at(ctx, b, 0) {
+                        Some(Token::Done) => {}
+                        Some(other) => {
+                            return Err(SimError::Semantics(format!(
+                                "serializer expected branch Done, found {other:?}"
+                            )))
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                self.pop(ctx, order_port);
+                for b in 0..factor {
+                    self.pop(ctx, b);
+                }
+                self.out_q[0].push_back(Token::Done);
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
+}
+
+// -- ALU payload combiners (charge FLOPs / occupancy through the context) ---
+
+fn alu_combine(ctx: &mut Ctx, op: AluOp, a: Payload, b: Payload) -> Result<Payload, SimError> {
+    let lanes = ctx.cfg.timing.block_lanes_factor;
+    Ok(match (a, b) {
+        (Payload::F(x), Payload::F(y)) => {
+            ctx.flops += op.flops_per_elem();
+            Payload::F(op.apply_scalar(x, y))
+        }
+        (Payload::Empty, Payload::F(y)) => {
+            ctx.flops += op.flops_per_elem();
+            Payload::F(op.apply_scalar(0.0, y))
+        }
+        (Payload::F(x), Payload::Empty) => {
+            ctx.flops += op.flops_per_elem();
+            Payload::F(op.apply_scalar(x, 0.0))
+        }
+        (Payload::Empty, Payload::Empty) => Payload::F(op.apply_scalar(0.0, 0.0)),
+        (Payload::Blk(x), Payload::Blk(y)) => {
+            let blk = match op {
+                AluOp::Mul => {
+                    // Tile contraction: b^2-lane unit retires one column
+                    // per cycle.
+                    ctx.flops += 2 * (x.rows() * x.cols() * y.cols()) as u64;
+                    let busy = (y.cols() as f64 / lanes).ceil() as u64;
+                    ctx.busy(busy);
+                    x.matmul(&y)
+                }
+                AluOp::BlockColDiv => {
+                    ctx.flops += x.len() as u64;
+                    x.broadcast_col(&y, |p, q| AluOp::Div.apply_scalar(p, q))
+                }
+                AluOp::BlockColSub => {
+                    ctx.flops += x.len() as u64;
+                    x.broadcast_col(&y, |p, q| p - q)
+                }
+                other => {
+                    ctx.flops += x.len() as u64 * other.flops_per_elem();
+                    x.zip(&y, |p, q| other.apply_scalar(p, q))
+                }
+            };
+            Payload::Blk(blk)
+        }
+        (Payload::Blk(x), Payload::F(s)) => {
+            ctx.flops += x.len() as u64;
+            Payload::Blk(x.map(|v| op.apply_scalar(v, s)))
+        }
+        (Payload::F(s), Payload::Blk(y)) => {
+            ctx.flops += y.len() as u64;
+            Payload::Blk(y.map(|v| op.apply_scalar(s, v)))
+        }
+        (Payload::Empty, Payload::Blk(y)) => {
+            ctx.flops += y.len() as u64;
+            let z = Block::zeros(y.rows(), y.cols());
+            Payload::Blk(z.zip(&y, |p, q| op.apply_scalar(p, q)))
+        }
+        (Payload::Blk(x), Payload::Empty) => {
+            ctx.flops += x.len() as u64;
+            match op {
+                AluOp::BlockColDiv | AluOp::BlockColSub => {
+                    let z = Block::zeros(x.rows(), 1);
+                    Payload::Blk(x.broadcast_col(&z, |p, q| op.apply_scalar(p, q)))
+                }
+                _ => {
+                    let z = Block::zeros(x.rows(), x.cols());
+                    Payload::Blk(x.zip(&z, |p, q| op.apply_scalar(p, q)))
+                }
+            }
+        }
+        (a, b) => return Err(SimError::Semantics(format!("alu operands {a:?} / {b:?}"))),
+    })
+}
+
+fn alu_unary(ctx: &mut Ctx, op: AluOp, a: Payload) -> Payload {
+    match a {
+        Payload::F(x) => {
+            ctx.flops += op.flops_per_elem();
+            Payload::F(op.apply_scalar(x, 0.0))
+        }
+        Payload::Empty => Payload::F(op.apply_scalar(0.0, 0.0)),
+        Payload::Blk(x) => {
+            ctx.flops += x.len() as u64 * op.flops_per_elem();
+            let blk = match op {
+                AluOp::BlockRowSum => x.row_reduce(0.0, |a, b| a + b),
+                AluOp::BlockRowMax => x.row_reduce(f32::MIN, f32::max),
+                other => x.map(|v| other.apply_scalar(v, 0.0)),
+            };
+            Payload::Blk(blk)
+        }
+        Payload::Idx(_) => unreachable!("validated streams never feed crd into ALU"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+/// Read-only simulation inputs shared by every shard (and every worker
+/// thread): the bound tensors, location tables, and the config.
+struct Shared<'a> {
+    tensors: &'a [&'a SparseTensor],
+    tensor_locs: &'a [MemLocation],
+    output_locs: &'a [MemLocation],
+    cfg: &'a SimConfig,
+}
+
+/// One weakly-connected component of the graph with everything it mutates:
+/// its nodes, its channels, its clock, and its DRAM channel slice.
+struct Shard {
+    nodes: Vec<Rt>,
+    chans: Vec<Chan>,
+    order: Vec<usize>,
+    dram: Dram,
+    now: u64,
+    flops: u64,
+}
+
+impl Shard {
+    /// Runs this shard to completion (all writers finished) or to an error.
+    fn run(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
+        let mut ctx = Ctx {
+            chans: &mut self.chans,
+            dram: &mut self.dram,
+            tensors: shared.tensors,
+            tensor_locs: shared.tensor_locs,
+            output_locs: shared.output_locs,
+            cfg: shared.cfg,
+            now: self.now,
+            flops: 0,
+            pending_busy: 0,
+        };
+        let res = 'run: loop {
+            let mut progress = false;
+            for &i in &self.order {
+                match self.nodes[i].step(&mut ctx) {
+                    Ok(p) => progress |= p,
+                    Err(e) => break 'run Err(e),
+                }
+            }
+            let writers_done = self.nodes.iter().all(|n| {
+                !matches!(n.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. })
+                    || n.finished()
+            });
+            if writers_done {
+                ctx.now += 1;
+                break 'run Ok(());
+            }
+            if progress {
+                ctx.now += 1;
+            } else {
+                // Distinguish stalls on memory latency / initiation intervals
+                // from true deadlock: fast-forward to the next wake-up time.
+                let now = ctx.now;
+                let next_wake = self.nodes.iter().filter_map(|n| n.next_wake(now)).min();
+                match next_wake {
+                    Some(t) => ctx.now = t,
+                    None => {
+                        let detail = deadlock_detail(&self.nodes, ctx.chans);
+                        break 'run Err(SimError::Deadlock { cycle: ctx.now, detail });
+                    }
+                }
+            }
+            if ctx.now > ctx.cfg.max_cycles {
+                break 'run Err(SimError::MaxCycles(ctx.cfg.max_cycles));
+            }
+        };
+        self.now = ctx.now;
+        self.flops += ctx.flops;
+        res
+    }
+
+    /// Runs a single isolated node until it can make no further progress,
+    /// fast-forwarding over busy/memory stalls exactly like [`Shard::run`].
+    fn run_standalone(&mut self, shared: &Shared<'_>, budget: u64) -> Result<(), SimError> {
+        let mut ctx = Ctx {
+            chans: &mut self.chans,
+            dram: &mut self.dram,
+            tensors: shared.tensors,
+            tensor_locs: shared.tensor_locs,
+            output_locs: shared.output_locs,
+            cfg: shared.cfg,
+            now: self.now,
+            flops: 0,
+            pending_busy: 0,
+        };
+        let res = 'run: loop {
+            match self.nodes[0].step(&mut ctx) {
+                Ok(true) => ctx.now += 1,
+                Ok(false) => {
+                    // No progress this cycle: distinguish exhausted inputs
+                    // from a stall on `busy_until` / in-flight memory, which
+                    // still hold undelivered output.
+                    match self.nodes[0].next_wake(ctx.now) {
+                        Some(t) => ctx.now = t,
+                        None => break 'run Ok(()),
+                    }
+                }
+                Err(e) => break 'run Err(e),
+            }
+            if ctx.now > budget {
+                break 'run Err(SimError::MaxCycles(budget));
+            }
+        };
+        self.now = ctx.now;
+        self.flops += ctx.flops;
+        res
+    }
+}
+
+fn deadlock_detail(nodes: &[Rt], chans: &[Chan]) -> String {
+    let mut parts = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if !n.finished() {
+            let ins: Vec<String> = n
+                .in_chans
+                .iter()
+                .map(|c| match c {
+                    Some(id) => format!("{}", chans[*id].buf.len()),
+                    None => "-".into(),
+                })
+                .collect();
+            let outs: Vec<String> = n.out_q.iter().map(|q| q.len().to_string()).collect();
+            parts.push(format!(
+                "{}#{i}[in:{} outq:{} pend:{} done:{} busy:{}]",
+                n.label,
+                ins.join(","),
+                outs.join(","),
+                n.pending_mem.len(),
+                n.done,
+                n.busy_until
+            ));
+        }
+    }
+    parts.join(" ")
 }
 
 fn make_rt(
@@ -396,1085 +1449,229 @@ fn make_rt(
     }
 }
 
-impl<'a> Engine<'a> {
-    fn run(&mut self, order: &[usize]) -> Result<(), SimError> {
-        loop {
-            let mut progress = false;
-            for &i in order {
-                progress |= self.step_node(i)?;
-            }
-            let writers_done = self.nodes.iter().all(|n| {
-                !matches!(n.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. })
-                    || n.finished()
-            });
-            if writers_done {
-                self.now += 1;
-                return Ok(());
-            }
-            if progress {
-                self.now += 1;
-            } else {
-                // Distinguish stalls on memory latency / initiation intervals
-                // from true deadlock: fast-forward to the next wake-up time.
-                let next_wake = self
-                    .nodes
-                    .iter()
-                    .flat_map(|n| {
-                        n.pending_mem
-                            .front()
-                            .map(|x| x.1)
-                            .into_iter()
-                            .chain((n.busy_until > self.now).then_some(n.busy_until))
-                    })
-                    .filter(|&t| t > self.now)
-                    .min();
-                match next_wake {
-                    Some(t) => self.now = t,
-                    None => {
-                        let detail = self.deadlock_detail();
-                        return Err(SimError::Deadlock { cycle: self.now, detail });
-                    }
-                }
-            }
-            if self.now > self.cfg.max_cycles {
-                return Err(SimError::MaxCycles(self.cfg.max_cycles));
-            }
+/// Weakly-connected-component id per node, components numbered in order of
+/// their lowest node id (so shard numbering is deterministic).
+fn shard_assignment(graph: &SamGraph) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    for e in graph.edges() {
+        let (a, b) = (find(&mut parent, e.src.node.0), find(&mut parent, e.dst.node.0));
+        if a != b {
+            parent[b] = a;
         }
     }
-
-    fn deadlock_detail(&self) -> String {
-        let mut parts = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if !n.finished() {
-                let ins: Vec<String> = n
-                    .in_chans
-                    .iter()
-                    .map(|c| match c {
-                        Some(id) => format!("{}", self.chans[*id].buf.len()),
-                        None => "-".into(),
-                    })
-                    .collect();
-                let outs: Vec<String> = n.out_q.iter().map(|q| q.len().to_string()).collect();
-                parts.push(format!(
-                    "{}#{i}[in:{} outq:{} pend:{} done:{} busy:{}]",
-                    n.label,
-                    ins.join(","),
-                    outs.join(","),
-                    n.pending_mem.len(),
-                    n.done,
-                    n.busy_until
-                ));
-            }
+    let mut shard_of = vec![usize::MAX; n];
+    let mut count = 0;
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        if shard_of[r] == usize::MAX {
+            shard_of[r] = count;
+            count += 1;
         }
-        parts.join(" ")
+        shard_of[i] = shard_of[r];
     }
+    (shard_of, count)
+}
 
-    fn peek(&self, rt: &Rt, port: usize) -> Option<&Token> {
-        rt.in_chans[port].and_then(|c| self.chans[c].buf.front())
-    }
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
 
-    fn peek_at(&self, rt: &Rt, port: usize, idx: usize) -> Option<&Token> {
-        rt.in_chans[port].and_then(|c| self.chans[c].buf.get(idx))
-    }
+/// Runs a SAMML graph on the given environment and configuration.
+///
+/// The graph is partitioned into weakly-connected shards which run
+/// concurrently when `cfg.threads > 1`; see the module docs for why the
+/// result is bit-identical to the sequential schedule.
+///
+/// # Errors
+///
+/// See [`SimError`]; notably graphs must validate, every tensor slot must be
+/// bound, and the run must finish within `cfg.max_cycles`.
+pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<SimResult, SimError> {
+    graph.validate().map_err(SimError::Validation)?;
+    let tensors: Vec<&SparseTensor> = graph
+        .tensors()
+        .iter()
+        .map(|slot| env.get(&slot.name).ok_or_else(|| SimError::MissingTensor(slot.name.clone())))
+        .collect::<Result<_, _>>()?;
+    let tensor_locs: Vec<MemLocation> = graph
+        .tensors()
+        .iter()
+        .map(|s| if cfg.timing.honor_on_chip { s.location } else { MemLocation::Dram })
+        .collect();
+    let output_locs: Vec<MemLocation> = graph
+        .outputs()
+        .iter()
+        .map(|s| if cfg.timing.honor_on_chip { s.location } else { MemLocation::Dram })
+        .collect();
 
-    fn connected(&self, rt: &Rt, port: usize) -> bool {
-        rt.in_chans[port].is_some()
-    }
-
-    fn pop(&mut self, node: usize, port: usize) -> Token {
-        let c = self.nodes[node].in_chans[port].expect("pop from unconnected port");
-        self.chans[c].buf.pop_front().expect("pop from empty channel")
-    }
-
-    /// Can one token be pushed to every fan-out channel of this port?
-    fn can_flush(&self, rt: &Rt, port: usize) -> bool {
-        rt.out_chans[port].iter().all(|&c| self.chans[c].buf.len() < self.chans[c].cap)
-    }
-
-    fn step_node(&mut self, i: usize) -> Result<bool, SimError> {
-        let mut progress = false;
-
-        // Phase 1: flush one queued token per output port.
-        for port in 0..self.nodes[i].out_q.len() {
-            if self.nodes[i].out_q[port].is_empty() {
-                continue;
-            }
-            if self.nodes[i].out_chans[port].is_empty() {
-                // Unconnected port: discard.
-                self.nodes[i].out_q[port].clear();
-                continue;
-            }
-            if self.can_flush(&self.nodes[i], port) {
-                let tok = self.nodes[i].out_q[port].pop_front().expect("nonempty");
-                if tok.is_elem() {
-                    self.nodes[i].elems += 1;
-                }
-                let chans = self.nodes[i].out_chans[port].clone();
-                for c in chans {
-                    self.chans[c].buf.push_back(tok.clone());
-                }
-                progress = true;
-            }
-        }
-
-        // Phase 2: retire completed memory requests into the output queues
-        // (or drop them, for writers).
-        while let Some((_, ready, _)) = self.nodes[i].pending_mem.front() {
-            if *ready > self.now {
-                break;
-            }
-            let (tok, _, port) = self.nodes[i].pending_mem.pop_front().expect("nonempty");
-            let is_writer = matches!(
-                self.nodes[i].kind,
-                NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. }
-            );
-            if !is_writer {
-                self.nodes[i].out_q[port].push_back(tok);
-            }
-            progress = true;
-        }
-
-        // Phase 3: one action, if not busy and output queues drained.
-        if self.nodes[i].done
-            || self.now < self.nodes[i].busy_until
-            || self.nodes[i].out_q.iter().any(|q| !q.is_empty())
-        {
-            return Ok(progress);
-        }
-        let acted = self.action(i)?;
-        if acted {
-            let ii = self.nodes[i].ii_extra;
-            if ii > 0 {
-                self.nodes[i].busy_until = self.now + 1 + ii;
-            }
-        }
-        Ok(progress || acted)
-    }
-
-    // -- individual node actions ------------------------------------------
-
-    fn action(&mut self, i: usize) -> Result<bool, SimError> {
-        match &self.nodes[i].kind {
-            NodeKind::Root => self.act_root(i),
-            NodeKind::LevelScanner { .. } => self.act_scan(i),
-            NodeKind::Repeat => self.act_repeat(i),
-            NodeKind::Intersect => self.act_join(i, JoinMode::Intersect),
-            NodeKind::Union => self.act_join(i, JoinMode::Union),
-            NodeKind::UnionLeft => self.act_join(i, JoinMode::UnionLeft),
-            NodeKind::Array { .. } => self.act_array(i),
-            NodeKind::Alu { .. } => self.act_alu(i),
-            NodeKind::Reduce { .. } => self.act_reduce(i),
-            NodeKind::Spacc1 { .. } => self.act_spacc(i),
-            NodeKind::CrdDrop => self.act_crddrop(i),
-            NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => self.act_writer(i),
-            NodeKind::Parallelizer { .. } => self.act_par(i),
-            NodeKind::Serializer { .. } => self.act_ser(i),
-        }
-    }
-
-    fn act_root(&mut self, i: usize) -> Result<bool, SimError> {
-        let State::Root { emitted } = &mut self.nodes[i].state else { unreachable!() };
-        match *emitted {
-            0 => {
-                *emitted = 1;
-                self.nodes[i].out_q[0].push_back(Token::idx(0));
-            }
-            1 => {
-                *emitted = 2;
-                self.nodes[i].out_q[0].push_back(Token::Done);
-                self.nodes[i].done = true;
-            }
-            _ => return Ok(false),
-        }
-        Ok(true)
-    }
-
-    fn act_scan(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::LevelScanner { tensor, level } = self.nodes[i].kind else { unreachable!() };
-        let compressed = matches!(self.tensors[tensor].level(level), Level::Compressed { .. });
-        let in_dram = self.tensor_locs[tensor] == MemLocation::Dram;
-        let outstanding = self.cfg.timing.outstanding;
-
-        let emitting = matches!(&self.nodes[i].state, State::Scan(s) if s.emitting);
-        if emitting {
-            let (cur, len) = match &self.nodes[i].state {
-                State::Scan(s) => (s.fidx, s.fiber.len()),
-                _ => unreachable!(),
-            };
-            if cur < len {
-                if self.nodes[i].pending_mem.len() >= outstanding {
-                    return Ok(false);
-                }
-                let State::Scan(s) = &mut self.nodes[i].state else { unreachable!() };
-                let (c, p) = s.fiber[s.fidx];
-                s.fidx += 1;
-                let ready = if compressed && in_dram {
-                    self.dram.request(self.now, 4, AccessKind::Stream, false)
-                } else {
-                    self.now
-                };
-                self.nodes[i].pending_mem.push_back((Token::idx(c), ready, 0));
-                self.nodes[i].pending_mem.push_back((Token::idx(p as u32), ready, 1));
-                return Ok(true);
-            }
-            // Fiber boundary (stops flow through the in-order pending
-            // queue so they never overtake memory-delayed elements).
-            let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-            let head = head.clone();
-            let State::Scan(s) = &mut self.nodes[i].state else { unreachable!() };
-            s.emitting = false;
-            let now = self.now;
-            match head {
-                Token::Elem(_) | Token::Done => {
-                    self.nodes[i].pending_mem.push_back((Token::Stop(0), now, 0));
-                    self.nodes[i].pending_mem.push_back((Token::Stop(0), now, 1));
-                }
-                Token::Stop(k) => {
-                    self.pop(i, 0);
-                    self.nodes[i].pending_mem.push_back((Token::Stop(k + 1), now, 0));
-                    self.nodes[i].pending_mem.push_back((Token::Stop(k + 1), now, 1));
-                }
-            }
-            return Ok(true);
-        }
-
-        // Idle: load the next fiber or forward boundaries.
-        let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-        let head = head.clone();
-        match head {
-            Token::Elem(Payload::Idx(r)) => {
-                self.pop(i, 0);
-                if compressed && in_dram {
-                    // pos-array read for the fiber bounds.
-                    let _ = self.dram.request(self.now, 8, AccessKind::Stream, false);
-                }
-                let fiber: Vec<(u32, usize)> =
-                    self.tensors[tensor].level(level).fiber(r as usize).collect();
-                let State::Scan(s) = &mut self.nodes[i].state else { unreachable!() };
-                s.fiber = fiber;
-                s.fidx = 0;
-                s.emitting = true;
-            }
-            Token::Elem(Payload::Empty) => {
-                self.pop(i, 0);
-                let State::Scan(s) = &mut self.nodes[i].state else { unreachable!() };
-                s.fiber = Vec::new();
-                s.fidx = 0;
-                s.emitting = true;
-            }
-            Token::Elem(other) => {
-                return Err(SimError::Semantics(format!("scanner received payload {other:?}")))
-            }
-            Token::Stop(k) => {
-                self.pop(i, 0);
-                let now = self.now;
-                self.nodes[i].pending_mem.push_back((Token::Stop(k + 1), now, 0));
-                self.nodes[i].pending_mem.push_back((Token::Stop(k + 1), now, 1));
-            }
-            Token::Done => {
-                self.pop(i, 0);
-                let now = self.now;
-                self.nodes[i].pending_mem.push_back((Token::Done, now, 0));
-                self.nodes[i].pending_mem.push_back((Token::Done, now, 1));
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
-    }
-
-    fn act_repeat(&mut self, i: usize) -> Result<bool, SimError> {
-        let Some(rep_head) = self.peek(&self.nodes[i], 1) else { return Ok(false) };
-        let rep_head = rep_head.clone();
-        match rep_head {
-            Token::Elem(_) => {
-                let loaded =
-                    matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
-                if !loaded {
-                    let Some(base) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-                    match base {
-                        Token::Elem(p) => {
-                            let p = p.clone();
-                            self.pop(i, 0);
-                            let State::Repeat(r) = &mut self.nodes[i].state else { unreachable!() };
-                            r.cur_base = Some(p);
-                        }
-                        other => {
-                            return Err(SimError::Semantics(format!(
-                                "repeat expected base element, found {other:?}"
-                            )))
-                        }
-                    }
-                }
-                self.pop(i, 1);
-                let State::Repeat(r) = &self.nodes[i].state else { unreachable!() };
-                let p = r.cur_base.clone().expect("loaded above");
-                self.nodes[i].out_q[0].push_back(Token::Elem(p));
-            }
-            Token::Stop(k) => {
-                // Close the pairing: discard the base element for this rep
-                // fiber (it may be unloaded if the fiber was empty), then
-                // consume the aligned base stop for k >= 1.
-                let loaded =
-                    matches!(&self.nodes[i].state, State::Repeat(r) if r.cur_base.is_some());
-                let mut base_idx = 0usize;
-                if !loaded {
-                    match self.peek_at(&self.nodes[i], 0, base_idx) {
-                        Some(Token::Elem(_)) => base_idx += 1, // will discard
-                        Some(_) => {}
-                        None => return Ok(false),
-                    }
-                }
-                if k >= 1 {
-                    match self.peek_at(&self.nodes[i], 0, base_idx) {
-                        Some(Token::Stop(bk)) if *bk == k - 1 => base_idx += 1,
-                        Some(other) => {
-                            return Err(SimError::Semantics(format!(
-                                "repeat base misaligned: rep Stop({k}) vs base {other:?}"
-                            )))
-                        }
-                        None => return Ok(false),
-                    }
-                }
-                // Commit.
-                self.pop(i, 1);
-                for _ in 0..base_idx {
-                    self.pop(i, 0);
-                }
-                let State::Repeat(r) = &mut self.nodes[i].state else { unreachable!() };
-                r.cur_base = None;
-                self.nodes[i].out_q[0].push_back(Token::Stop(k));
-            }
-            Token::Done => {
-                match self.peek(&self.nodes[i], 0) {
-                    Some(Token::Done) => {}
-                    Some(other) => {
-                        return Err(SimError::Semantics(format!(
-                            "repeat base should be Done, found {other:?}"
-                        )))
-                    }
-                    None => return Ok(false),
-                }
-                self.pop(i, 1);
-                self.pop(i, 0);
-                self.nodes[i].out_q[0].push_back(Token::Done);
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
-    }
-
-    /// Pops a coordinate-side token together with its payload companion (if
-    /// the payload port is connected); returns the payload token.
-    fn pop_side(&mut self, i: usize, crd_port: usize, pay_port: usize) -> Option<Token> {
-        let _crd = self.pop(i, crd_port);
-        if self.connected(&self.nodes[i], pay_port) {
-            Some(self.pop(i, pay_port))
-        } else {
-            None
-        }
-    }
-
-    /// Payload heads available whenever their crd side has a token?
-    fn side_ready(&self, i: usize, pay_port: usize) -> bool {
-        !self.connected(&self.nodes[i], pay_port) || self.peek(&self.nodes[i], pay_port).is_some()
-    }
-
-    fn act_join(&mut self, i: usize, mode: JoinMode) -> Result<bool, SimError> {
-        let (Some(a), Some(b)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 2))
-        else {
-            return Ok(false);
-        };
-        let (a, b) = (a.clone(), b.clone());
-        if !self.side_ready(i, 1) || !self.side_ready(i, 3) {
-            return Ok(false);
-        }
-        match (&a, &b) {
-            (Token::Elem(ca), Token::Elem(cb)) => {
-                let (ia, ib) = (ca.idx(), cb.idx());
-                if ia == ib {
-                    let pa = self.pop_side(i, 0, 1);
-                    let pb = self.pop_side(i, 2, 3);
-                    self.nodes[i].out_q[0].push_back(Token::idx(ia));
-                    if let Some(t) = pa {
-                        self.nodes[i].out_q[1].push_back(t);
-                    }
-                    if let Some(t) = pb {
-                        self.nodes[i].out_q[2].push_back(t);
-                    }
-                } else if ia < ib {
-                    match mode {
-                        JoinMode::Intersect => {
-                            let _ = self.pop_side(i, 0, 1);
-                        }
-                        JoinMode::Union | JoinMode::UnionLeft => {
-                            let pa = self.pop_side(i, 0, 1);
-                            self.nodes[i].out_q[0].push_back(Token::idx(ia));
-                            if let Some(t) = pa {
-                                self.nodes[i].out_q[1].push_back(t);
-                            }
-                            self.nodes[i].out_q[2].push_back(Token::Elem(Payload::Empty));
-                        }
-                    }
-                } else {
-                    match mode {
-                        JoinMode::Intersect | JoinMode::UnionLeft => {
-                            let _ = self.pop_side(i, 2, 3);
-                        }
-                        JoinMode::Union => {
-                            let pb = self.pop_side(i, 2, 3);
-                            self.nodes[i].out_q[0].push_back(Token::idx(ib));
-                            self.nodes[i].out_q[1].push_back(Token::Elem(Payload::Empty));
-                            if let Some(t) = pb {
-                                self.nodes[i].out_q[2].push_back(t);
-                            }
-                        }
-                    }
-                }
-            }
-            (Token::Elem(ca), Token::Stop(_)) => match mode {
-                JoinMode::Intersect => {
-                    let _ = self.pop_side(i, 0, 1);
-                }
-                JoinMode::Union | JoinMode::UnionLeft => {
-                    let ia = ca.idx();
-                    let pa = self.pop_side(i, 0, 1);
-                    self.nodes[i].out_q[0].push_back(Token::idx(ia));
-                    if let Some(t) = pa {
-                        self.nodes[i].out_q[1].push_back(t);
-                    }
-                    self.nodes[i].out_q[2].push_back(Token::Elem(Payload::Empty));
-                }
-            },
-            (Token::Stop(_), Token::Elem(cb)) => match mode {
-                JoinMode::Intersect | JoinMode::UnionLeft => {
-                    let _ = self.pop_side(i, 2, 3);
-                }
-                JoinMode::Union => {
-                    let ib = cb.idx();
-                    let pb = self.pop_side(i, 2, 3);
-                    self.nodes[i].out_q[0].push_back(Token::idx(ib));
-                    self.nodes[i].out_q[1].push_back(Token::Elem(Payload::Empty));
-                    if let Some(t) = pb {
-                        self.nodes[i].out_q[2].push_back(t);
-                    }
-                }
-            },
-            (Token::Stop(ka), Token::Stop(kb)) => {
-                if ka != kb {
-                    return Err(SimError::Semantics(format!(
-                        "join stop mismatch: {ka} vs {kb} at {}",
-                        self.nodes[i].label
-                    )));
-                }
-                let k = *ka;
-                let _ = self.pop_side(i, 0, 1);
-                let _ = self.pop_side(i, 2, 3);
-                self.nodes[i].out_q[0].push_back(Token::Stop(k));
-                self.nodes[i].out_q[1].push_back(Token::Stop(k));
-                self.nodes[i].out_q[2].push_back(Token::Stop(k));
-            }
-            (Token::Done, Token::Done) => {
-                let _ = self.pop_side(i, 0, 1);
-                let _ = self.pop_side(i, 2, 3);
-                for q in 0..3 {
-                    self.nodes[i].out_q[q].push_back(Token::Done);
-                }
-                self.nodes[i].done = true;
-            }
-            (x, y) => {
-                return Err(SimError::Semantics(format!(
-                    "join token mismatch: {x:?} vs {y:?} at {}",
-                    self.nodes[i].label
-                )))
-            }
-        }
-        Ok(true)
-    }
-
-    fn act_array(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Array { tensor } = self.nodes[i].kind else { unreachable!() };
-        if self.nodes[i].pending_mem.len() >= self.cfg.timing.outstanding {
-            return Ok(false);
-        }
-        let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-        let head = head.clone();
-        let t = self.tensors[tensor];
-        let in_dram = self.tensor_locs[tensor] == MemLocation::Dram;
-        match head {
-            Token::Elem(Payload::Idx(r)) => {
-                self.pop(i, 0);
-                let (payload, bytes) = if t.is_blocked() {
-                    let [b0, b1] = t.block();
-                    let blk = Block::new(b0, b1, t.val_block(r as usize).to_vec());
-                    (Payload::Blk(blk), (b0 * b1 * 4) as u64)
-                } else {
-                    (Payload::F(t.val(r as usize)), 4)
-                };
-                let ready = if in_dram {
-                    self.dram.request(self.now, bytes, AccessKind::Random, false)
-                } else {
-                    self.now
-                };
-                self.nodes[i].pending_mem.push_back((Token::Elem(payload), ready, 0));
-            }
-            Token::Elem(Payload::Empty) => {
-                self.pop(i, 0);
-                let payload = if t.is_blocked() {
-                    let [b0, b1] = t.block();
-                    Payload::Blk(Block::zeros(b0, b1))
-                } else {
-                    Payload::F(0.0)
-                };
-                self.nodes[i].pending_mem.push_back((Token::Elem(payload), self.now, 0));
-            }
-            Token::Elem(other) => {
-                return Err(SimError::Semantics(format!("array received payload {other:?}")))
-            }
-            Token::Stop(k) => {
-                self.pop(i, 0);
-                self.nodes[i].pending_mem.push_back((Token::Stop(k), self.now, 0));
-            }
-            Token::Done => {
-                self.pop(i, 0);
-                self.nodes[i].pending_mem.push_back((Token::Done, self.now, 0));
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
-    }
-
-    fn alu_combine(&mut self, op: AluOp, a: Payload, b: Payload) -> Result<Payload, SimError> {
-        let lanes = self.cfg.timing.block_lanes_factor;
-        Ok(match (a, b) {
-            (Payload::F(x), Payload::F(y)) => {
-                self.flops += op.flops_per_elem();
-                Payload::F(op.apply_scalar(x, y))
-            }
-            (Payload::Empty, Payload::F(y)) => {
-                self.flops += op.flops_per_elem();
-                Payload::F(op.apply_scalar(0.0, y))
-            }
-            (Payload::F(x), Payload::Empty) => {
-                self.flops += op.flops_per_elem();
-                Payload::F(op.apply_scalar(x, 0.0))
-            }
-            (Payload::Empty, Payload::Empty) => Payload::F(op.apply_scalar(0.0, 0.0)),
-            (Payload::Blk(x), Payload::Blk(y)) => {
-                let blk = match op {
-                    AluOp::Mul => {
-                        // Tile contraction: b^2-lane unit retires one column
-                        // per cycle.
-                        self.flops += 2 * (x.rows() * x.cols() * y.cols()) as u64;
-                        let busy = (y.cols() as f64 / lanes).ceil() as u64;
-                        self.nodes_busy(busy);
-                        x.matmul(&y)
-                    }
-                    AluOp::BlockColDiv => {
-                        self.flops += x.len() as u64;
-                        x.broadcast_col(&y, |p, q| AluOp::Div.apply_scalar(p, q))
-                    }
-                    AluOp::BlockColSub => {
-                        self.flops += x.len() as u64;
-                        x.broadcast_col(&y, |p, q| p - q)
-                    }
-                    other => {
-                        self.flops += x.len() as u64 * other.flops_per_elem();
-                        x.zip(&y, |p, q| other.apply_scalar(p, q))
-                    }
-                };
-                Payload::Blk(blk)
-            }
-            (Payload::Blk(x), Payload::F(s)) => {
-                self.flops += x.len() as u64;
-                Payload::Blk(x.map(|v| op.apply_scalar(v, s)))
-            }
-            (Payload::F(s), Payload::Blk(y)) => {
-                self.flops += y.len() as u64;
-                Payload::Blk(y.map(|v| op.apply_scalar(s, v)))
-            }
-            (Payload::Empty, Payload::Blk(y)) => {
-                self.flops += y.len() as u64;
-                let z = Block::zeros(y.rows(), y.cols());
-                Payload::Blk(z.zip(&y, |p, q| op.apply_scalar(p, q)))
-            }
-            (Payload::Blk(x), Payload::Empty) => {
-                self.flops += x.len() as u64;
-                match op {
-                    AluOp::BlockColDiv | AluOp::BlockColSub => {
-                        let z = Block::zeros(x.rows(), 1);
-                        Payload::Blk(x.broadcast_col(&z, |p, q| op.apply_scalar(p, q)))
-                    }
-                    _ => {
-                        let z = Block::zeros(x.rows(), x.cols());
-                        Payload::Blk(x.zip(&z, |p, q| op.apply_scalar(p, q)))
-                    }
-                }
-            }
-            (a, b) => return Err(SimError::Semantics(format!("alu operands {a:?} / {b:?}"))),
+    // Partition nodes into weakly-connected shards. Every edge joins two
+    // nodes of the same shard, so channels are shard-local by construction.
+    // The configured DRAM bandwidth is statically partitioned across shards
+    // (each gets a 1/k channel slice; latencies are unchanged), so a
+    // multi-component graph models the same aggregate bandwidth as the
+    // single shared channel did — contention is approximated by the static
+    // split instead of request-order arbitration. Single-component graphs
+    // (the common case) keep the full channel and are unaffected.
+    let (shard_of, n_shards) = shard_assignment(graph);
+    let slice_bw = cfg.timing.dram_bytes_per_cycle / (n_shards.max(1) as f64);
+    let mut shards: Vec<Shard> = (0..n_shards)
+        .map(|_| Shard {
+            nodes: Vec::new(),
+            chans: Vec::new(),
+            order: Vec::new(),
+            dram: Dram::new(
+                slice_bw,
+                cfg.timing.dram_stream_latency,
+                cfg.timing.dram_random_latency,
+            ),
+            now: 0,
+            flops: 0,
         })
+        .collect();
+
+    // Channels: one per edge, ids local to the owning shard.
+    let fanin = graph.fanin();
+    let fanout = graph.fanout();
+    let mut edge_chan: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+    for e in graph.edges() {
+        let s = shard_of[e.src.node.0];
+        let id = shards[s].chans.len();
+        shards[s].chans.push(Chan::new(cfg.channel_capacity));
+        edge_chan.insert((e.src.node.0, e.src.port, e.dst.node.0, e.dst.port), id);
     }
 
-    fn alu_unary(&mut self, op: AluOp, a: Payload) -> Payload {
-        match a {
-            Payload::F(x) => {
-                self.flops += op.flops_per_elem();
-                Payload::F(op.apply_scalar(x, 0.0))
+    // Nodes, with shard-local indices in increasing global-id order.
+    let mut local_of = vec![0usize; graph.node_count()];
+    for (i, kind) in graph.nodes().iter().enumerate() {
+        let n_in = kind.input_ports().len();
+        let n_out = kind.output_ports().len();
+        let mut in_chans = vec![None; n_in];
+        for (p, slot) in in_chans.iter_mut().enumerate() {
+            if let Some(src) = fanin.get(&(fuseflow_sam::NodeId(i), p)) {
+                *slot = Some(edge_chan[&(src.node.0, src.port, i, p)]);
             }
-            Payload::Empty => Payload::F(op.apply_scalar(0.0, 0.0)),
-            Payload::Blk(x) => {
-                self.flops += x.len() as u64 * op.flops_per_elem();
-                let blk = match op {
-                    AluOp::BlockRowSum => x.row_reduce(0.0, |a, b| a + b),
-                    AluOp::BlockRowMax => x.row_reduce(f32::MIN, f32::max),
-                    other => x.map(|v| other.apply_scalar(v, 0.0)),
-                };
-                Payload::Blk(blk)
-            }
-            Payload::Idx(_) => unreachable!("validated streams never feed crd into ALU"),
         }
-    }
-
-    fn nodes_busy(&mut self, _cycles: u64) {
-        // Applied by the caller via busy_map; recorded through `pending_busy`.
-        self.pending_busy = self.pending_busy.max(_cycles);
-    }
-
-    fn act_alu(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Alu { op } = self.nodes[i].kind else { unreachable!() };
-        self.pending_busy = 0;
-        if op.arity() == 1 {
-            let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-            let head = head.clone();
-            match head {
-                Token::Elem(p) => {
-                    self.pop(i, 0);
-                    let out = self.alu_unary(op, p);
-                    self.nodes[i].out_q[0].push_back(Token::Elem(out));
-                }
-                Token::Stop(k) => {
-                    self.pop(i, 0);
-                    self.nodes[i].out_q[0].push_back(Token::Stop(k));
-                }
-                Token::Done => {
-                    self.pop(i, 0);
-                    self.nodes[i].out_q[0].push_back(Token::Done);
-                    self.nodes[i].done = true;
-                }
-            }
-        } else {
-            let (Some(a), Some(b)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 1))
-            else {
-                return Ok(false);
-            };
-            let (a, b) = (a.clone(), b.clone());
-            match (a, b) {
-                (Token::Elem(pa), Token::Elem(pb)) => {
-                    self.pop(i, 0);
-                    self.pop(i, 1);
-                    let out = self.alu_combine(op, pa, pb)?;
-                    self.nodes[i].out_q[0].push_back(Token::Elem(out));
-                }
-                (Token::Stop(ka), Token::Stop(kb)) if ka == kb => {
-                    self.pop(i, 0);
-                    self.pop(i, 1);
-                    self.nodes[i].out_q[0].push_back(Token::Stop(ka));
-                }
-                (Token::Done, Token::Done) => {
-                    self.pop(i, 0);
-                    self.pop(i, 1);
-                    self.nodes[i].out_q[0].push_back(Token::Done);
-                    self.nodes[i].done = true;
-                }
-                (x, y) => {
-                    return Err(SimError::Semantics(format!(
-                        "alu stream misalignment: {x:?} vs {y:?} at {}",
-                        self.nodes[i].label
-                    )))
+        let mut out_chans = vec![Vec::new(); n_out];
+        for (p, dsts_out) in out_chans.iter_mut().enumerate() {
+            if let Some(dsts) = fanout.get(&(fuseflow_sam::NodeId(i), p)) {
+                for d in dsts {
+                    dsts_out.push(edge_chan[&(i, p, d.node.0, d.port)]);
                 }
             }
         }
-        if self.pending_busy > 0 {
-            self.nodes[i].busy_until = self.now + self.pending_busy;
-        }
-        Ok(true)
+        let shard = &mut shards[shard_of[i]];
+        local_of[i] = shard.nodes.len();
+        shard.nodes.push(make_rt(
+            kind.clone(),
+            graph.label(fuseflow_sam::NodeId(i)).to_string(),
+            in_chans,
+            out_chans,
+            &cfg.timing,
+        ));
     }
 
-    fn act_reduce(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Reduce { op } = self.nodes[i].kind else { unreachable!() };
-        let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-        let head = head.clone();
-        match head {
-            Token::Elem(p) => {
-                self.pop(i, 0);
-                let State::Reduce { acc } = &mut self.nodes[i].state else { unreachable!() };
-                let new = match (acc.take(), p) {
-                    (None, p) => p,
-                    (Some(Payload::F(a)), Payload::F(b)) => {
-                        self.flops += 1;
-                        Payload::F(op.apply(a, b))
-                    }
-                    (Some(Payload::F(a)), Payload::Empty)
-                    | (Some(Payload::Empty), Payload::F(a)) => {
-                        Payload::F(op.apply(a, op.identity()))
-                    }
-                    (Some(Payload::Blk(a)), Payload::Blk(b)) => {
-                        self.flops += a.len() as u64;
-                        Payload::Blk(a.zip(&b, |x, y| op.apply(x, y)))
-                    }
-                    (Some(a), b) => {
-                        return Err(SimError::Semantics(format!("reduce operands {a:?} / {b:?}")))
-                    }
-                };
-                let State::Reduce { acc } = &mut self.nodes[i].state else { unreachable!() };
-                *acc = Some(new);
-            }
-            Token::Stop(k) => {
-                self.pop(i, 0);
-                let State::Reduce { acc } = &mut self.nodes[i].state else { unreachable!() };
-                let out = acc.take().unwrap_or(Payload::F(op.identity()));
-                self.nodes[i].out_q[0].push_back(Token::Elem(out));
-                if k >= 1 {
-                    self.nodes[i].out_q[0].push_back(Token::Stop(k - 1));
-                }
-            }
-            Token::Done => {
-                self.pop(i, 0);
-                self.nodes[i].out_q[0].push_back(Token::Done);
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
+    // Per-shard topological order (the global order filtered per shard).
+    for nid in graph.topo_order().expect("validated graphs are acyclic") {
+        let order = local_of[nid.0];
+        shards[shard_of[nid.0]].order.push(order);
     }
 
-    fn act_spacc(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Spacc1 { op } = self.nodes[i].kind else { unreachable!() };
-        let (Some(c), Some(v)) = (self.peek(&self.nodes[i], 0), self.peek(&self.nodes[i], 1))
-        else {
-            return Ok(false);
-        };
-        let (c, v) = (c.clone(), v.clone());
-        match (c, v) {
-            (Token::Elem(pc), Token::Elem(pv)) => {
-                self.pop(i, 0);
-                self.pop(i, 1);
-                let key = pc.idx();
-                let mut extra_flops = 0u64;
-                let State::Spacc { map } = &mut self.nodes[i].state else { unreachable!() };
-                match map.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert(pv);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let merged = match (e.get().clone(), pv) {
-                            (Payload::F(a), Payload::F(b)) => {
-                                extra_flops += 1;
-                                Payload::F(op.apply(a, b))
-                            }
-                            (Payload::Blk(a), Payload::Blk(b)) => {
-                                extra_flops += a.len() as u64;
-                                Payload::Blk(a.zip(&b, |x, y| op.apply(x, y)))
-                            }
-                            (Payload::Empty, p) | (p, Payload::Empty) => p,
-                            (a, b) => {
-                                return Err(SimError::Semantics(format!(
-                                    "spacc operands {a:?} / {b:?}"
-                                )))
-                            }
-                        };
-                        e.insert(merged);
+    // Run every shard: sequentially, or on the scoped worker pool. Either
+    // way the reported error is the lowest-indexed failing shard's.
+    let shared =
+        Shared { tensors: &tensors, tensor_locs: &tensor_locs, output_locs: &output_locs, cfg };
+    if cfg.threads > 1 && shards.len() > 1 {
+        let shared_ref = &shared;
+        let ran = parallel_map(cfg.threads, shards, |mut shard| {
+            let res = shard.run(shared_ref);
+            (shard, res)
+        });
+        let mut first_err = Ok(());
+        shards = ran
+            .into_iter()
+            .map(|(shard, res)| {
+                if first_err.is_ok() {
+                    if let Err(e) = res {
+                        first_err = Err(e);
                     }
                 }
-                self.flops += extra_flops;
-            }
-            (Token::Stop(kc), Token::Stop(kv)) => {
-                if kc != kv {
-                    return Err(SimError::Semantics(format!("spacc stop mismatch {kc} vs {kv}")));
-                }
-                self.pop(i, 0);
-                self.pop(i, 1);
-                if kc >= 1 {
-                    let State::Spacc { map } = &mut self.nodes[i].state else { unreachable!() };
-                    let drained: Vec<(u32, Payload)> = std::mem::take(map).into_iter().collect();
-                    for (c, v) in drained {
-                        self.nodes[i].out_q[0].push_back(Token::idx(c));
-                        self.nodes[i].out_q[1].push_back(Token::Elem(v));
+                shard
+            })
+            .collect();
+        first_err?;
+    } else {
+        for shard in &mut shards {
+            shard.run(&shared)?;
+        }
+    }
+
+    // Merge counters deterministically (shard order). Shards model
+    // concurrently executing partitions, so wall-clock cycles are the max
+    // over shard clocks while traffic and work counters sum.
+    let mut stats = Stats {
+        cycles: shards.iter().map(|s| s.now).max().unwrap_or(1),
+        dram_read_bytes: shards.iter().map(|s| s.dram.read_bytes()).sum(),
+        dram_write_bytes: shards.iter().map(|s| s.dram.write_bytes()).sum(),
+        flops: shards.iter().map(|s| s.flops).sum(),
+        node_tokens: HashMap::new(),
+    };
+    for shard in &shards {
+        for rt in &shard.nodes {
+            *stats.node_tokens.entry(rt.label.clone()).or_insert(0) += rt.elems;
+        }
+    }
+
+    // Collect writer streams per output slot.
+    let mut outputs = HashMap::new();
+    for (oi, slot) in graph.outputs().iter().enumerate() {
+        let mut crd_streams: Vec<Option<Vec<Token>>> = vec![None; slot.format.order()];
+        let mut vals: Option<Vec<Token>> = None;
+        for rt in shards.iter().flat_map(|s| s.nodes.iter()) {
+            match &rt.kind {
+                NodeKind::CrdWriter { output, level } if *output == oi => {
+                    if let State::Writer { tokens } = &rt.state {
+                        crd_streams[*level] = Some(tokens.clone());
                     }
-                    self.nodes[i].out_q[0].push_back(Token::Stop(kc - 1));
-                    self.nodes[i].out_q[1].push_back(Token::Stop(kc - 1));
                 }
-                // Stop(0) boundaries separate the fibers being accumulated:
-                // keep accumulating.
-            }
-            (Token::Done, Token::Done) => {
-                self.pop(i, 0);
-                self.pop(i, 1);
-                let State::Spacc { map } = &self.nodes[i].state else { unreachable!() };
-                if !map.is_empty() {
-                    return Err(SimError::Semantics(
-                        "spacc reached Done with unflushed state".into(),
-                    ));
+                NodeKind::ValWriter { output } if *output == oi => {
+                    if let State::Writer { tokens } = &rt.state {
+                        vals = Some(tokens.clone());
+                    }
                 }
-                self.nodes[i].out_q[0].push_back(Token::Done);
-                self.nodes[i].out_q[1].push_back(Token::Done);
-                self.nodes[i].done = true;
+                _ => {}
             }
-            (x, y) => {
-                return Err(SimError::Semantics(format!(
-                    "spacc stream misalignment: {x:?} vs {y:?}"
+        }
+        let crd_streams: Vec<Vec<Token>> = crd_streams
+            .into_iter()
+            .enumerate()
+            .map(|(l, s)| {
+                s.ok_or(SimError::Rebuild(format!(
+                    "output '{}' missing level {l} writer",
+                    slot.name
                 )))
-            }
-        }
-        Ok(true)
+            })
+            .collect::<Result<_, _>>()?;
+        let vals =
+            vals.ok_or(SimError::Rebuild(format!("output '{}' missing value writer", slot.name)))?;
+        let t = assemble_output(slot, &crd_streams, &vals).map_err(SimError::Rebuild)?;
+        outputs.insert(slot.name.clone(), t);
     }
 
-    fn act_crddrop(&mut self, i: usize) -> Result<bool, SimError> {
-        let mut progress = false;
-        for port in 0..2 {
-            if self.peek(&self.nodes[i], port).is_some() {
-                let tok = self.pop(i, port);
-                let State::CrdDrop { done0, done1 } = &mut self.nodes[i].state else {
-                    unreachable!()
-                };
-                if tok == Token::Done {
-                    if port == 0 {
-                        *done0 = true;
-                    } else {
-                        *done1 = true;
-                    }
-                }
-                let finished = *done0 && *done1;
-                self.nodes[i].out_q[port].push_back(tok);
-                if finished {
-                    self.nodes[i].done = true;
-                }
-                progress = true;
-            }
-        }
-        Ok(progress)
-    }
-
-    fn act_writer(&mut self, i: usize) -> Result<bool, SimError> {
-        if self.nodes[i].pending_mem.len() >= self.cfg.timing.outstanding {
-            return Ok(false);
-        }
-        let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-        let head = head.clone();
-        let output = match self.nodes[i].kind {
-            NodeKind::CrdWriter { output, .. } | NodeKind::ValWriter { output } => output,
-            _ => unreachable!(),
-        };
-        let in_dram = self.output_locs[output] == MemLocation::Dram;
-        self.pop(i, 0);
-        if let Token::Elem(p) = &head {
-            let bytes = match p {
-                Payload::Blk(b) => (b.len() * 4) as u64,
-                _ => 4,
-            };
-            let ready = if in_dram {
-                self.dram.request(self.now, bytes, AccessKind::Stream, true)
-            } else {
-                self.now
-            };
-            self.nodes[i].pending_mem.push_back((Token::Stop(0), ready, 0));
-            self.nodes[i].elems += 1;
-        }
-        if head == Token::Done {
-            self.nodes[i].done = true;
-        }
-        let State::Writer { tokens } = &mut self.nodes[i].state else { unreachable!() };
-        tokens.push(head);
-        Ok(true)
-    }
-
-    fn act_par(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Parallelizer { factor } = self.nodes[i].kind else { unreachable!() };
-        let has_payload = self.connected(&self.nodes[i], 1);
-        let Some(head) = self.peek(&self.nodes[i], 0) else { return Ok(false) };
-        let head = head.clone();
-        if has_payload && self.peek(&self.nodes[i], 1).is_none() {
-            return Ok(false);
-        }
-        match head {
-            Token::Elem(_) => {
-                let c = self.pop(i, 0);
-                let State::Par { rr } = &mut self.nodes[i].state else { unreachable!() };
-                let b = *rr;
-                *rr = (*rr + 1) % factor;
-                self.nodes[i].out_q[2 * b].push_back(c);
-                if has_payload {
-                    let p = self.pop(i, 1);
-                    self.nodes[i].out_q[2 * b + 1].push_back(p);
-                }
-            }
-            Token::Stop(k) => {
-                self.pop(i, 0);
-                if has_payload {
-                    let p = self.pop(i, 1);
-                    if p != Token::Stop(k) {
-                        return Err(SimError::Semantics(format!(
-                            "parallelizer payload misaligned: {p:?} vs Stop({k})"
-                        )));
-                    }
-                }
-                let State::Par { rr } = &mut self.nodes[i].state else { unreachable!() };
-                *rr = 0;
-                for b in 0..factor {
-                    self.nodes[i].out_q[2 * b].push_back(Token::Stop(k));
-                    if has_payload {
-                        self.nodes[i].out_q[2 * b + 1].push_back(Token::Stop(k));
-                    }
-                }
-            }
-            Token::Done => {
-                self.pop(i, 0);
-                if has_payload {
-                    self.pop(i, 1);
-                }
-                for b in 0..factor {
-                    self.nodes[i].out_q[2 * b].push_back(Token::Done);
-                    if has_payload {
-                        self.nodes[i].out_q[2 * b + 1].push_back(Token::Done);
-                    }
-                }
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
-    }
-
-    fn act_ser(&mut self, i: usize) -> Result<bool, SimError> {
-        let NodeKind::Serializer { factor, depth } = self.nodes[i].kind else { unreachable!() };
-        let order_port = factor;
-        let (cur, in_unit, pending) = {
-            let State::Ser(st) = &self.nodes[i].state else { unreachable!() };
-            (st.cur, st.in_unit, st.pending_unit)
-        };
-
-        if in_unit {
-            // Pull the current unit's tokens from branch `cur`.
-            let Some(head) = self.peek(&self.nodes[i], cur) else { return Ok(false) };
-            let head = head.clone();
-            match head {
-                Token::Elem(_) => {
-                    let tok = self.pop(i, cur);
-                    self.nodes[i].out_q[0].push_back(tok);
-                }
-                Token::Stop(k) if depth >= 1 && k == depth - 1 => {
-                    // Ordinary unit boundary.
-                    self.pop(i, cur);
-                    let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                    st.in_unit = false;
-                    st.pending_unit = true;
-                    st.cur = (st.cur + 1) % factor;
-                }
-                Token::Stop(k) if k + 1 < depth => {
-                    // Interior stop: part of this unit.
-                    let tok = self.pop(i, cur);
-                    self.nodes[i].out_q[0].push_back(tok);
-                }
-                Token::Stop(_) => {
-                    // The unit's boundary coalesced into a barrier stop: the
-                    // unit is over, but the barrier token is consumed later
-                    // by the order-stream barrier action.
-                    let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                    st.in_unit = false;
-                    st.pending_unit = true;
-                    st.cur = (st.cur + 1) % factor;
-                }
-                Token::Done => {
-                    return Err(SimError::Semantics("serializer branch finished mid-unit".into()))
-                }
-            }
-            return Ok(true);
-        }
-
-        let Some(order_head) = self.peek(&self.nodes[i], order_port) else { return Ok(false) };
-        let order_head = order_head.clone();
-        match order_head {
-            Token::Elem(_) => {
-                if pending {
-                    // Close the previous unit before starting the next one.
-                    self.nodes[i].out_q[0].push_back(Token::Stop(depth - 1));
-                    let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                    st.pending_unit = false;
-                    return Ok(true);
-                }
-                if depth == 0 {
-                    // Units are single elements.
-                    let Some(bh) = self.peek(&self.nodes[i], cur) else { return Ok(false) };
-                    match bh {
-                        Token::Elem(_) => {
-                            self.pop(i, order_port);
-                            let tok = self.pop(i, cur);
-                            self.nodes[i].out_q[0].push_back(tok);
-                            let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                            st.cur = (st.cur + 1) % factor;
-                        }
-                        other => {
-                            return Err(SimError::Semantics(format!(
-                                "serializer depth-0 expected element, found {other:?}"
-                            )))
-                        }
-                    }
-                } else {
-                    // Check for a coalesced-empty unit before committing.
-                    let Some(bh) = self.peek(&self.nodes[i], cur) else { return Ok(false) };
-                    let coalesced = matches!(bh, Token::Stop(k) if *k >= depth);
-                    self.pop(i, order_port);
-                    let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                    if coalesced {
-                        st.pending_unit = true;
-                        st.cur = (st.cur + 1) % factor;
-                    } else {
-                        st.in_unit = true;
-                    }
-                }
-            }
-            Token::Stop(k) => {
-                // Barrier: every branch holds the corresponding deeper stop.
-                for b in 0..factor {
-                    match self.peek_at(&self.nodes[i], b, 0) {
-                        Some(Token::Stop(bk)) if *bk == k + depth => {}
-                        Some(other) => {
-                            return Err(SimError::Semantics(format!(
-                                "serializer barrier mismatch on branch {b}: {other:?} vs Stop({})",
-                                k + depth
-                            )))
-                        }
-                        None => return Ok(false),
-                    }
-                }
-                self.pop(i, order_port);
-                for b in 0..factor {
-                    self.pop(i, b);
-                }
-                self.nodes[i].out_q[0].push_back(Token::Stop(k + depth));
-                let State::Ser(st) = &mut self.nodes[i].state else { unreachable!() };
-                st.pending_unit = false;
-                st.cur = 0;
-            }
-            Token::Done => {
-                for b in 0..factor {
-                    match self.peek_at(&self.nodes[i], b, 0) {
-                        Some(Token::Done) => {}
-                        Some(other) => {
-                            return Err(SimError::Semantics(format!(
-                                "serializer expected branch Done, found {other:?}"
-                            )))
-                        }
-                        None => return Ok(false),
-                    }
-                }
-                self.pop(i, order_port);
-                for b in 0..factor {
-                    self.pop(i, b);
-                }
-                self.nodes[i].out_q[0].push_back(Token::Done);
-                self.nodes[i].done = true;
-            }
-        }
-        Ok(true)
-    }
+    Ok(SimResult { outputs, stats })
 }
 
 /// Runs a single node in isolation on literal input streams. Intended for
@@ -1516,27 +1713,22 @@ pub fn run_node_standalone(
 
     let rt = make_rt(kind, "standalone".into(), in_chans, out_chans, &cfg.timing);
     let tensor_refs: Vec<&SparseTensor> = tensors.iter().collect();
-    let mut engine = Engine {
+    let tensor_locs = vec![MemLocation::OnChip; tensors.len()];
+    let output_locs = Vec::new();
+    let shared = Shared {
+        tensors: &tensor_refs,
+        tensor_locs: &tensor_locs,
+        output_locs: &output_locs,
+        cfg: &cfg,
+    };
+    let mut shard = Shard {
         nodes: vec![rt],
         chans,
-        tensors: tensor_refs,
-        tensor_locs: vec![MemLocation::OnChip; tensors.len()],
-        output_locs: vec![],
+        order: vec![0],
         dram: Dram::new(1e9, 0, 0),
         now: 0,
-        cfg: &cfg,
         flops: 0,
-        pending_busy: 0,
     };
-    loop {
-        let progress = engine.step_node(0)?;
-        engine.now += 1;
-        if !progress {
-            break;
-        }
-        if engine.now > 10_000_000 {
-            return Err(SimError::MaxCycles(10_000_000));
-        }
-    }
-    Ok(capture.into_iter().map(|(_, c)| engine.chans[c].buf.iter().cloned().collect()).collect())
+    shard.run_standalone(&shared, 10_000_000)?;
+    Ok(capture.into_iter().map(|(_, c)| shard.chans[c].buf.iter().cloned().collect()).collect())
 }

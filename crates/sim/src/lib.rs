@@ -2,10 +2,16 @@
 //!
 //! This crate executes the streaming dataflow graphs produced by the
 //! FuseFlow compiler: each SAMML primitive runs as a state machine over
-//! bounded token channels (a deterministic, single-threaded realization of
-//! the DAM process-network model the paper's Comal simulator builds on),
-//! with a shared ramulator-lite DRAM model supplying bandwidth/latency
-//! costs and full instrumentation (cycles, FLOPs, bytes).
+//! bounded token channels (a deterministic realization of the DAM
+//! process-network model the paper's Comal simulator builds on), with a
+//! ramulator-lite DRAM model supplying bandwidth/latency costs and full
+//! instrumentation (cycles, FLOPs, bytes).
+//!
+//! Graphs are partitioned into weakly-connected *shards* which can run on a
+//! scoped worker pool ([`SimConfig::threads`]) with results bit-identical
+//! to the sequential schedule; the same [`parallel_map`] pool drives the
+//! sweep harnesses in `fuseflow-bench`. See `crates/sim/src/engine.rs` for
+//! the determinism argument.
 //!
 //! Two timing backends implement the paper's §8.2 validation methodology:
 //! [`TimingConfig::comal`] (HBM-class, fully pipelined) and
@@ -27,11 +33,13 @@
 mod backend;
 mod dram;
 mod engine;
+mod pool;
 mod rebuild;
 mod stats;
 
 pub use backend::TimingConfig;
 pub use dram::{AccessKind, Dram};
 pub use engine::{run_node_standalone, simulate, SimConfig, SimError, SimResult, TensorEnv};
+pub use pool::parallel_map;
 pub use rebuild::{assemble_output, streams_to_entries};
 pub use stats::Stats;

@@ -87,6 +87,23 @@ fn gcn_layer_fully_fused_matches_reference_and_cuts_traffic() {
 }
 
 #[test]
+fn pipeline_runs_are_bit_identical_across_thread_counts() {
+    // End-to-end equivalence at the pipeline level: every fusion schedule,
+    // sequential engine vs sharded worker pool.
+    let (p, inputs) = gcn_layerish(16, 10, 5);
+    for schedule in [Schedule::unfused(), Schedule::regions(vec![0..2]), Schedule::full()] {
+        let seq = compile_run_verify(&p, &schedule, &inputs, &SimConfig::default()).unwrap();
+        let par = compile_run_verify(&p, &schedule, &inputs, &SimConfig::default().with_threads(4))
+            .unwrap();
+        assert_eq!(seq.stats, par.stats, "stats diverged under {schedule:?}");
+        assert_eq!(seq.per_region, par.per_region, "regions diverged under {schedule:?}");
+        for (name, t) in &seq.outputs {
+            assert_eq!(Some(t), par.outputs.get(name), "output '{name}' diverged");
+        }
+    }
+}
+
+#[test]
 fn gcn_layer_partial_regions_match_reference() {
     let (p, inputs) = gcn_layerish(16, 10, 5);
     // Fuse the two matmuls; bias and relu stay separate.
