@@ -9,7 +9,7 @@ use fuseflow_core::{estimate, fuse_region};
 use fuseflow_models::{
     gcn, gpt_attention, gpt_attention_blocked, graphsage, sae, Fusion, GraphDataset,
 };
-use fuseflow_sim::{parallel_map, SimConfig, TimingConfig};
+use fuseflow_sim::{parallel_map, Scheduler, SimConfig, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
 
 fn tiny_graph() -> GraphDataset {
@@ -185,6 +185,28 @@ fn sweep_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scheduler-core throughput: the same latency-dominated model simulated
+/// under the legacy dense per-cycle sweep vs the event-driven
+/// calendar-queue scheduler. Cycle counts are bit-identical
+/// (`crates/sim/tests/determinism.rs`); only simulator wall-clock differs.
+/// Stretched DRAM latencies make most nodes idle at any instant — the
+/// regime the event engine is built for.
+fn sched_throughput(c: &mut Criterion) {
+    let m = gcn(&tiny_graph(), 8, 4, 11);
+    let compiled = compile(&m.program, &m.schedule(Fusion::Partial)).unwrap();
+    let mut timing = TimingConfig::comal();
+    timing.dram_stream_latency = 96;
+    timing.dram_random_latency = 480;
+    let mut g = c.benchmark_group("sched_throughput");
+    for (name, sched) in [("sweep", Scheduler::Sweep), ("event", Scheduler::Event)] {
+        let cfg = SimConfig { timing: timing.clone(), scheduler: sched, ..SimConfig::default() };
+        g.bench_function(name, |b| {
+            b.iter(|| run(&m.program, &compiled, &m.inputs, &cfg).unwrap().stats.cycles)
+        });
+    }
+    g.finish();
+}
+
 /// Ablation: factored vs global iteration style (DESIGN.md §3.2).
 fn ablation_iteration_style(c: &mut Criterion) {
     let m = gcn(&tiny_graph(), 8, 4, 9);
@@ -208,6 +230,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = fig12_fusion, fig4b_prior_compilers, fig13_validation, fig15_sparsity,
               fig16_parallel, fig17_blocking, table3_heuristic, table4_orders,
-              sweep_throughput, ablation_iteration_style
+              sweep_throughput, sched_throughput, ablation_iteration_style
 }
 criterion_main!(paper);

@@ -21,10 +21,11 @@ use fuseflow_models::{
     ModelInstance, GRAPH_DATASETS, SAE_DATASETS,
 };
 use fuseflow_sam::MemLocation;
-use fuseflow_sim::{parallel_map, SimConfig, Stats, TimingConfig};
+use fuseflow_sim::{parallel_map, Scheduler, SimConfig, Stats, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Sweep-wide options parsed from the command line.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +34,92 @@ struct Opts {
     quick: bool,
     /// Worker threads for the sweep pool.
     threads: usize,
+}
+
+/// Deterministic per-point cycle counts a figure contributes to
+/// `BENCH_sim.json` (label -> simulated cycles).
+type Points = Vec<(String, u64)>;
+
+/// One sweep-vs-event scheduler measurement (the `sched` experiment).
+struct SchedRow {
+    workload: String,
+    cycles: u64,
+    sweep_wall_s: f64,
+    event_wall_s: f64,
+    sweep_events: u64,
+    event_events: u64,
+    cycles_skipped: u64,
+    peak_ready: u64,
+}
+
+/// Machine-readable run report, written to `BENCH_sim.json` at the repo
+/// root so the perf trajectory is comparable across PRs. `--quick` emits
+/// the same shape on tiny instances; CI diffs its cycle counts against
+/// `results/quick_cycles.json`.
+#[derive(Default)]
+struct Report {
+    figures: Vec<(String, f64, Points)>,
+    sched: Vec<SchedRow>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Report {
+    fn add(&mut self, id: &str, wall_s: f64, points: Points) {
+        self.figures.push((id.to_string(), wall_s, points));
+    }
+
+    fn to_json(&self, o: Opts, wall_s_total: f64) -> String {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"schema\": \"fuseflow-bench-sim/1\",");
+        let _ = writeln!(j, "  \"quick\": {},", o.quick);
+        let _ = writeln!(j, "  \"threads\": {},", o.threads);
+        let _ = writeln!(j, "  \"wall_s_total\": {wall_s_total:.3},");
+        let _ = writeln!(j, "  \"figures\": [");
+        for (fi, (id, wall, points)) in self.figures.iter().enumerate() {
+            let _ = writeln!(j, "    {{");
+            let _ = writeln!(j, "      \"id\": \"{}\",", json_escape(id));
+            let _ = writeln!(j, "      \"wall_s\": {wall:.3},");
+            let _ = writeln!(j, "      \"points\": [");
+            for (pi, (label, cycles)) in points.iter().enumerate() {
+                let comma = if pi + 1 < points.len() { "," } else { "" };
+                let _ = writeln!(
+                    j,
+                    "        {{\"label\": \"{}\", \"cycles\": {cycles}}}{comma}",
+                    json_escape(label)
+                );
+            }
+            let _ = writeln!(j, "      ]");
+            let comma = if fi + 1 < self.figures.len() { "," } else { "" };
+            let _ = writeln!(j, "    }}{comma}");
+        }
+        let _ = writeln!(j, "  ],");
+        let _ = writeln!(j, "  \"sched\": [");
+        for (ri, r) in self.sched.iter().enumerate() {
+            let comma = if ri + 1 < self.sched.len() { "," } else { "" };
+            let speedup = r.sweep_wall_s / r.event_wall_s.max(1e-9);
+            let _ = writeln!(
+                j,
+                "    {{\"workload\": \"{}\", \"cycles\": {}, \"sweep_wall_s\": {:.4}, \
+                 \"event_wall_s\": {:.4}, \"speedup\": {:.2}, \"sweep_events\": {}, \
+                 \"event_events\": {}, \"cycles_skipped\": {}, \"peak_ready\": {}}}{comma}",
+                json_escape(&r.workload),
+                r.cycles,
+                r.sweep_wall_s,
+                r.event_wall_s,
+                speedup,
+                r.sweep_events,
+                r.event_events,
+                r.cycles_skipped,
+                r.peak_ready
+            );
+        }
+        let _ = writeln!(j, "  ]");
+        j.push_str("}\n");
+        j
+    }
 }
 
 fn sim() -> SimConfig {
@@ -61,7 +148,7 @@ fn save(name: &str, content: &str) {
 
 /// Fig 1: roofline-model GPU utilization for GCN inference (substitution:
 /// analytical RTX-5090-class device; DESIGN.md §4).
-fn fig1(o: Opts) {
+fn fig1(o: Opts) -> Points {
     println!("\n== Fig 1: GPU SM/DRAM utilization for GCN inference (roofline model) ==");
     let mut csv = String::from("dataset,sm_util_pct,mem_util_pct\n");
     // RTX-5090-class peaks: ~105 TFLOP/s FP32, ~1.8 TB/s DRAM, ~2.6 GHz.
@@ -81,10 +168,11 @@ fn fig1(o: Opts) {
         writeln!(csv, "{},{:.4},{:.4}", ds.name, sm, mem).unwrap();
     }
     save("fig1", &csv);
+    Vec::new()
 }
 
 /// Fig 4b / §8.4: prior-compiler comparison on GCN/collab.
-fn fig4b(o: Opts) {
+fn fig4b(o: Opts) -> Points {
     println!("\n== Fig 4b: C+S (unfused) vs C+S (rewrite) vs FuseFlow, GCN ==");
     let ds = GraphDataset {
         name: "collab",
@@ -106,15 +194,18 @@ fn fig4b(o: Opts) {
         parallel_map(o.threads, configs, |(name, sched)| (name, run_model(&m, &sched).cycles));
     let unfused = cycles[0].1;
     let mut csv = String::from("config,cycles,speedup\n");
+    let mut points = Points::new();
     for (name, c) in cycles {
         println!("  {:15} {:>12} cycles   speedup {:.2}x", name, c, unfused as f64 / c as f64);
         writeln!(csv, "{},{},{:.3}", name, c, unfused as f64 / c as f64).unwrap();
+        points.push((name.to_string(), c));
     }
     save("fig4b", &csv);
+    points
 }
 
 /// Fig 12: fusion granularity sweep across the four model classes.
-fn fig12(o: Opts) {
+fn fig12(o: Opts) -> Points {
     println!("\n== Fig 12: fusion effect across models (speedup over unfused) ==");
     let mut models: Vec<(String, String, ModelInstance)> = Vec::new();
     let sae_take = if o.quick { 1 } else { 2 };
@@ -149,6 +240,7 @@ fn fig12(o: Opts) {
         (model, dsname, base, per)
     });
     let mut csv = String::from("model,dataset,fusion,cycles,speedup\n");
+    let mut points = Points::new();
     for (model, dsname, base, per) in rows {
         for (f, c) in per {
             println!(
@@ -157,13 +249,15 @@ fn fig12(o: Opts) {
                 base as f64 / c as f64
             );
             writeln!(csv, "{model},{dsname},{f},{c},{:.3}", base as f64 / c as f64).unwrap();
+            points.push((format!("{model}/{dsname}/{f}"), c));
         }
     }
     save("fig12", &csv);
+    points
 }
 
 /// Fig 13: Comal vs FPGA-RTL backend latency correlation (R^2).
-fn fig13(o: Opts) {
+fn fig13(o: Opts) -> Points {
     println!("\n== Fig 13: Comal vs FPGA-RTL backend trend agreement ==");
     let ds = GraphDataset {
         name: "karate",
@@ -204,15 +298,19 @@ fn fig13(o: Opts) {
     let r2 = (cov * cov) / (vx * vy);
     println!("  {} kernels, R^2 = {:.3}", pairs.len(), r2);
     let mut csv = String::from("kernel,comal_cycles,fpga_cycles\n");
+    let mut points = Points::new();
     for (c, f, k) in &pairs {
         writeln!(csv, "{k},{c},{f}").unwrap();
+        points.push((format!("{k}/comal"), *c as u64));
+        points.push((format!("{k}/fpga"), *f as u64));
     }
     writeln!(csv, "r2,{r2:.4},").unwrap();
     save("fig13", &csv);
+    points
 }
 
 /// Fig 14: GCN FLOPs / bytes normalized to unfused + operational intensity.
-fn fig14(o: Opts) {
+fn fig14(o: Opts) -> Points {
     println!("\n== Fig 14: GCN FLOPs & DRAM bytes normalized to unfused ==");
     let take = if o.quick { 1 } else { 3 };
     let datasets: Vec<GraphDataset> = GRAPH_DATASETS
@@ -231,8 +329,10 @@ fn fig14(o: Opts) {
         (ds.name, base, per)
     });
     let mut csv = String::from("dataset,fusion,flops_rel,bytes_rel,op_intensity\n");
+    let mut points = Points::new();
     for (name, base, per) in rows {
         for (f, s) in per {
+            points.push((format!("{name}/{f}"), s.cycles));
             let fr = s.flops as f64 / base.flops as f64;
             let br = s.dram_bytes() as f64 / base.dram_bytes() as f64;
             println!(
@@ -248,10 +348,11 @@ fn fig14(o: Opts) {
         }
     }
     save("fig14", &csv);
+    points
 }
 
 /// Fig 15: sparsity ablation on synthetic graphs.
-fn fig15(o: Opts) {
+fn fig15(o: Opts) -> Points {
     println!("\n== Fig 15: speedup vs sparsity (synthetic 2-layer GCN) ==");
     let patterns: &[GraphPattern] = if o.quick {
         &[GraphPattern::Uniform]
@@ -274,21 +375,27 @@ fn fig15(o: Opts) {
             pattern,
         };
         let m = gcn(&ds, 16, 8, 55);
-        let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles as f64;
-        let part = base / run_model(&m, &m.schedule(Fusion::Partial)).cycles as f64;
-        let full = base / run_model(&m, &m.schedule(Fusion::Full)).cycles as f64;
-        (pattern, sparsity, part, full)
+        let base = run_model(&m, &m.schedule(Fusion::Unfused)).cycles;
+        let part_c = run_model(&m, &m.schedule(Fusion::Partial)).cycles;
+        let full_c = run_model(&m, &m.schedule(Fusion::Full)).cycles;
+        (pattern, sparsity, base, part_c, full_c)
     });
     let mut csv = String::from("pattern,sparsity,partial_speedup,full_speedup\n");
-    for (pattern, sparsity, part, full) in rows {
+    let mut points = Points::new();
+    for (pattern, sparsity, base, part_c, full_c) in rows {
+        let (part, full) = (base as f64 / part_c as f64, base as f64 / full_c as f64);
         println!("  {pattern:10} sparsity {sparsity:.2}: partial {part:.2}x  full {full:.2}x");
         writeln!(csv, "{pattern},{sparsity},{part:.3},{full:.3}").unwrap();
+        points.push((format!("{pattern}/{sparsity}/unfused"), base));
+        points.push((format!("{pattern}/{sparsity}/partial"), part_c));
+        points.push((format!("{pattern}/{sparsity}/full"), full_c));
     }
     save("fig15", &csv);
+    points
 }
 
 /// Fig 16: parallelization factor and location sweeps on BigBird attention.
-fn fig16(o: Opts) {
+fn fig16(o: Opts) -> Points {
     println!("\n== Fig 16a: parallelization factor sweep (BigBird attention) ==");
     // The blocked pipeline parallelizes end to end (no deferred softmax
     // references crossing the split); the scalar pipeline's softmax region
@@ -306,9 +413,11 @@ fn fig16(o: Opts) {
     });
     let base = run_model_on_chip(&m, &m.schedule(Fusion::Partial)).cycles;
     let mut csv = String::from("factor,cycles,speedup\n");
+    let mut points = Points::new();
     for (factor, c) in cycles {
         println!("  factor {factor:>2}: {c:>12} cycles  {:.2}x", base as f64 / c as f64);
         writeln!(csv, "{factor},{c},{:.3}", base as f64 / c as f64).unwrap();
+        points.push((format!("a/factor{factor}"), c));
     }
     save("fig16a", &csv);
 
@@ -341,12 +450,14 @@ fn fig16(o: Opts) {
     for (loc, factor, c) in rows {
         println!("  {loc:6} factor {factor}: {c:>12} cycles ({:.2}x)", base_unf as f64 / c as f64);
         writeln!(csv, "{loc},{factor},{c},{:.3}", base_unf as f64 / c as f64).unwrap();
+        points.push((format!("b/{loc}/x{factor}"), c));
     }
     save("fig16b", &csv);
+    points
 }
 
 /// Fig 17: block-sparse vs unstructured BigBird attention.
-fn fig17(o: Opts) {
+fn fig17(o: Opts) -> Points {
     println!("\n== Fig 17: blocked vs unstructured BigBird attention ==");
     let blocks: &[usize] = if o.quick { &[16] } else { &[16, 32, 64] };
     let rows = parallel_map(o.threads, blocks.to_vec(), |block| {
@@ -361,20 +472,24 @@ fn fig17(o: Opts) {
         (block, cu, cb)
     });
     let mut csv = String::from("block,unstructured_cycles,blocked_cycles,speedup\n");
+    let mut points = Points::new();
     for (block, cu, cb) in rows {
         println!(
             "  block {block:>2}: unstructured {cu:>12}  blocked {cb:>10}  {:.1}x",
             cu as f64 / cb as f64
         );
         writeln!(csv, "{block},{cu},{cb},{:.3}", cu as f64 / cb as f64).unwrap();
+        points.push((format!("block{block}/unstructured"), cu));
+        points.push((format!("block{block}/blocked"), cb));
     }
     save("fig17", &csv);
+    points
 }
 
 /// Fig 18: dataflow order sweep for a chained matmul via user dataflow
 /// schedules; discordant orders materialize permuted input copies through
 /// the POG cycle-resolution path.
-fn fig18(o: Opts) {
+fn fig18(o: Opts) -> Points {
     println!("\n== Fig 18: dataflow order sweep, nested matmul ==");
     use fuseflow_core::ir::{IndexVar, Program};
     use fuseflow_tensor::{gen, Format, SparseTensor};
@@ -465,15 +580,18 @@ fn fig18(o: Opts) {
     }
     let worst = results.iter().map(|r| r.1).max().unwrap_or(1);
     let mut csv = String::from("order,cycles,speedup_vs_worst\n");
+    let mut points = Points::new();
     for (name, c) in &results {
         println!("  {name:16} {c:>12} cycles  {:.2}x", worst as f64 / *c as f64);
         writeln!(csv, "{name},{c},{:.3}", worst as f64 / *c as f64).unwrap();
+        points.push((name.clone(), *c));
     }
     save("fig18", &csv);
+    points
 }
 
 /// Table 3: heuristic FLOPs/bytes error against the simulator.
-fn table3(o: Opts) {
+fn table3(o: Opts) -> Points {
     println!("\n== Table 3: heuristic avg % error (FLOPs / bytes) ==");
     let ds = GraphDataset {
         name: "collab",
@@ -509,13 +627,14 @@ fn table3(o: Opts) {
         writeln!(csv, "{},{:.2},{:.2}", name, fe, be).unwrap();
     }
     save("table3", &csv);
+    Vec::new()
 }
 
 /// Table 4: design-space size with and without local (per-kernel best
 /// dataflow order) constraints, plus the POG linear-extension counts for
 /// the first fused region (exact via the frontier DP in
 /// `Pog::count_orders`, `*` marks capped entries like the paper).
-fn table4(o: Opts) {
+fn table4(o: Opts) -> Points {
     println!("\n== Table 4: dataflow-order design-space size ==");
     let cap: u128 = 200_000_000;
     let mut csv =
@@ -571,6 +690,174 @@ fn table4(o: Opts) {
         writeln!(csv, "{name},{un},{capped},{con},{pog_fmt},{pog_full}").unwrap();
     }
     save("table4", &csv);
+    Vec::new()
+}
+
+/// Scheduler comparison: the same workloads simulated under the legacy
+/// dense per-cycle sweep and the event-driven calendar-queue scheduler.
+/// Semantic results are asserted bit-identical; what differs is simulator
+/// wall-clock, which this experiment records (with the event engine's
+/// counters) into `BENCH_sim.json`.
+fn sched(o: Opts, rep: &mut Report) -> Points {
+    println!("\n== Sched: sweep vs event-driven scheduler (wall-clock) ==");
+    let ds = GraphDataset {
+        name: "karate",
+        nodes: if o.quick { 24 } else { 34 },
+        feats: 16,
+        density: 0.14,
+        pattern: GraphPattern::Uniform,
+    };
+    // The fig13 GCN kernel (DRAM-resident), the same kernel on a
+    // high-latency memory (the latency-dominated regime: most nodes idle
+    // at any instant), and the fig18 nested matmul.
+    let mut far = TimingConfig::comal();
+    far.dram_stream_latency = 96;
+    far.dram_random_latency = 480;
+    // Schedules: unfused = many small per-region graphs; full = one large
+    // fused graph where most nodes idle at any instant (the sweep's worst
+    // case, since its whole-shard fast-forward only fires when *nothing*
+    // progresses).
+    let mut workloads: Vec<(&str, ModelInstance, Schedule, SimConfig)> = vec![
+        ("gcn_dram", gcn(&ds, 8, 4, 3), Schedule::unfused(), sim()),
+        (
+            "gcn_hbm_far",
+            gcn(&ds, 8, 4, 3),
+            Schedule::unfused(),
+            SimConfig { timing: far.clone(), ..sim() },
+        ),
+        ("gcn_fused", gcn(&ds, 8, 4, 3), Schedule::full(), sim()),
+        ("gcn_fused_far", gcn(&ds, 8, 4, 3), Schedule::full(), SimConfig { timing: far, ..sim() }),
+    ];
+    if !o.quick {
+        workloads.push(("graphsage_fused", graphsage(&ds, 8, 4, 5), Schedule::full(), sim()));
+    }
+    let mut csv = String::from(
+        "workload,cycles,sweep_wall_s,event_wall_s,speedup,sweep_events,event_events,\
+         cycles_skipped,peak_ready\n",
+    );
+    let mut points = Points::new();
+    let reps = if o.quick { 2 } else { 3 };
+    for (name, m, sched, cfg) in workloads {
+        let compiled = compile(&m.program, &sched).unwrap();
+        let timed = |cfg: &SimConfig| {
+            let mut best = f64::INFINITY;
+            let mut stats = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = run(&m.program, &compiled, &m.inputs, cfg).unwrap();
+                best = best.min(t0.elapsed().as_secs_f64());
+                stats = Some(r.stats);
+            }
+            (stats.unwrap(), best)
+        };
+        let (ev, event_wall) = timed(&cfg);
+        let (sw, sweep_wall) = timed(&cfg.clone().with_scheduler(Scheduler::Sweep));
+        assert_eq!(
+            ev.semantic(),
+            sw.semantic(),
+            "{name}: schedulers diverged (this is a simulator bug)"
+        );
+        let speedup = sweep_wall / event_wall.max(1e-9);
+        println!(
+            "  {name:14} {:>10} cycles  sweep {:.4}s  event {:.4}s  {speedup:.2}x  \
+             (events {} -> {}, skipped {}, peak ready {})",
+            ev.cycles,
+            sweep_wall,
+            event_wall,
+            sw.sched.events,
+            ev.sched.events,
+            ev.sched.cycles_skipped,
+            ev.sched.peak_ready
+        );
+        writeln!(
+            csv,
+            "{name},{},{sweep_wall:.4},{event_wall:.4},{speedup:.3},{},{},{},{}",
+            ev.cycles,
+            sw.sched.events,
+            ev.sched.events,
+            ev.sched.cycles_skipped,
+            ev.sched.peak_ready
+        )
+        .unwrap();
+        points.push((name.to_string(), ev.cycles));
+        rep.sched.push(SchedRow {
+            workload: name.to_string(),
+            cycles: ev.cycles,
+            sweep_wall_s: sweep_wall,
+            event_wall_s: event_wall,
+            sweep_events: sw.sched.events,
+            event_events: ev.sched.events,
+            cycles_skipped: ev.sched.cycles_skipped,
+            peak_ready: ev.sched.peak_ready,
+        });
+    }
+    save("sched", &csv);
+    points
+}
+
+/// Autotune candidates: a small schedule-space enumeration on the fig4b
+/// GCN (fusion regions x stream parallelization), scored analytically
+/// (`estimate`) and by simulation. Regenerates `results/autotune.csv` with
+/// every `cycles` cell filled (or explicitly marked `-` when a candidate
+/// fails to compile).
+fn autotune(o: Opts) -> Points {
+    println!("\n== Autotune: schedule candidates, heuristic vs simulated ==");
+    let ds = GraphDataset {
+        name: "collab",
+        nodes: if o.quick { 32 } else { 96 },
+        feats: if o.quick { 8 } else { 24 },
+        density: 0.03,
+        pattern: GraphPattern::PowerLaw,
+    };
+    let m = gcn(&ds, 16, 8, 7);
+    let n = m.program.exprs().len();
+    let i0 = m.program.exprs()[0].output.indices[0];
+    let split = (n / 2).max(1);
+    let candidates: Vec<(String, Schedule)> = vec![
+        ("unfused/factored".into(), Schedule::unfused()),
+        ("unfused/factored/par{i0x2}".into(), Schedule::unfused().with_parallelization(i0, 2)),
+        (
+            format!("regions[0..{split},{split}..{n}]/factored"),
+            Schedule::regions(vec![0..split, split..n]),
+        ),
+        (
+            format!("regions[0..{split},{split}..{n}]/factored/par{{i0x2}}"),
+            Schedule::regions(vec![0..split, split..n]).with_parallelization(i0, 2),
+        ),
+        (format!("regions[0..{n}]/factored"), Schedule::regions(vec![0..n])),
+        (
+            format!("regions[0..{n}]/factored/par{{i0x2}}"),
+            Schedule::regions(vec![0..n]).with_parallelization(i0, 2),
+        ),
+    ];
+    let mut rows = parallel_map(
+        o.threads,
+        candidates.into_iter().enumerate().collect(),
+        |(idx, (label, sched))| {
+            let est = estimate(&m.program, &sched, &m.inputs);
+            let cycles = compile(&m.program, &sched)
+                .ok()
+                .and_then(|c| run(&m.program, &c, &m.inputs, &sim()).ok())
+                .map(|r| r.stats.cycles);
+            (idx, label, est.flops, est.bytes, cycles)
+        },
+    );
+    // Best-first like an autotuner's report; failed candidates sink.
+    rows.sort_by_key(|r| (r.4.is_none(), r.4, r.0));
+    let mut csv = String::from("index,schedule,est_flops,est_bytes,cycles\n");
+    let mut points = Points::new();
+    for (idx, label, flops, bytes, cycles) in rows {
+        let cell = cycles.map_or("-".to_string(), |c| c.to_string());
+        println!(
+            "  [{idx}] {label:44} est_flops {flops:>10.0} est_bytes {bytes:>10.0} cycles {cell}"
+        );
+        writeln!(csv, "{idx},{label},{flops:.0},{bytes:.0},{cell}").unwrap();
+        if let Some(c) = cycles {
+            points.push((label, c));
+        }
+    }
+    save("autotune", &csv);
+    points
 }
 
 fn main() {
@@ -596,43 +883,65 @@ fn main() {
     }
     let all = which.iter().any(|w| w == "all");
     let want = |id: &str| all || which.iter().any(|w| w == id);
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
+    let mut report = Report::default();
+    let timed = |rep: &mut Report, id: &str, f: &mut dyn FnMut(&mut Report) -> Points| {
+        let t = Instant::now();
+        let points = f(rep);
+        rep.add(id, t.elapsed().as_secs_f64(), points);
+    };
     if want("fig1") {
-        fig1(opts);
+        timed(&mut report, "fig1", &mut |_| fig1(opts));
     }
     if want("fig4b") {
-        fig4b(opts);
+        timed(&mut report, "fig4b", &mut |_| fig4b(opts));
     }
     if want("fig12") {
-        fig12(opts);
+        timed(&mut report, "fig12", &mut |_| fig12(opts));
     }
     if want("fig13") {
-        fig13(opts);
+        timed(&mut report, "fig13", &mut |_| fig13(opts));
     }
     if want("fig14") {
-        fig14(opts);
+        timed(&mut report, "fig14", &mut |_| fig14(opts));
     }
     if want("fig15") {
-        fig15(opts);
+        timed(&mut report, "fig15", &mut |_| fig15(opts));
     }
     if want("fig16") {
-        fig16(opts);
+        timed(&mut report, "fig16", &mut |_| fig16(opts));
     }
     if want("fig17") {
-        fig17(opts);
+        timed(&mut report, "fig17", &mut |_| fig17(opts));
     }
     if want("fig18") {
-        fig18(opts);
+        timed(&mut report, "fig18", &mut |_| fig18(opts));
     }
     if want("table3") {
-        table3(opts);
+        timed(&mut report, "table3", &mut |_| table3(opts));
     }
     if want("table4") {
-        table4(opts);
+        timed(&mut report, "table4", &mut |_| table4(opts));
     }
+    if want("sched") {
+        timed(&mut report, "sched", &mut |r| sched(opts, r));
+    }
+    if want("autotune") {
+        timed(&mut report, "autotune", &mut |_| autotune(opts));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    // Only a full `all` run refreshes the tracked cross-PR report: a
+    // filtered subset would clobber it with a partial point set that no
+    // longer matches results/quick_cycles.json.
+    let report_note = if all {
+        std::fs::write("BENCH_sim.json", report.to_json(opts, wall))
+            .expect("write BENCH_sim.json (CI's drift gate reads it)");
+        ", report in BENCH_sim.json"
+    } else {
+        " (subset run: BENCH_sim.json untouched)"
+    };
     println!(
-        "\nDone in {:.1}s ({} pool threads{}); CSVs in results/.",
-        t0.elapsed().as_secs_f64(),
+        "\nDone in {wall:.1}s ({} pool threads{}); CSVs in results/{report_note}.",
         opts.threads,
         if opts.quick { ", --quick" } else { "" }
     );

@@ -301,7 +301,17 @@ impl FusedRegion {
     /// Resolves a program-level index variable to its global index, if it
     /// appears in the region.
     pub fn global_for_program_var(&self, var: IndexVar) -> Option<GlobalIx> {
-        self.global_of.iter().filter(|((_, v), _)| *v == var).map(|(_, g)| *g).next()
+        // A program var can occur in several expressions whose occurrence
+        // classes were never unified (distinct global rows). Resolve to the
+        // earliest expression's class: `global_of` is a HashMap, so taking
+        // an arbitrary entry would make compilation (and therefore whether
+        // stream parallelization applies or falls back to serial lowering)
+        // nondeterministic across runs.
+        self.global_of
+            .iter()
+            .filter(|((_, v), _)| *v == var)
+            .min_by_key(|((ei, _), _)| *ei)
+            .map(|(_, g)| *g)
     }
 }
 

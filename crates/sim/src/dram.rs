@@ -12,6 +12,15 @@
 //!
 //! Requests are granted in arrival order; the model returns the cycle at
 //! which the data is available. Substitution rationale: `DESIGN.md` §4.
+//!
+//! Channel occupancy is tracked in integer **millibytes served** rather
+//! than a floating-point `busy_until` cycle: `busy_until: f64` accumulated
+//! one rounding error per request, which drifts over the millions of
+//! requests of a long simulation (and differs across shard bandwidth
+//! slices like `64.0 / 3`). With millibyte fixed-point every request adds
+//! `bytes * 1000` exactly, and the only rounding anywhere is the final
+//! ceiling division to a whole completion cycle — the same ceiling the
+//! float model applied.
 
 /// Access pattern class of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,10 +34,14 @@ pub enum AccessKind {
 /// A single-channel DRAM model.
 #[derive(Debug, Clone)]
 pub struct Dram {
-    bytes_per_cycle: f64,
+    /// Sustained bandwidth in millibytes per cycle (fixed-point).
+    millibytes_per_cycle: u64,
     stream_latency: u64,
     random_latency: u64,
-    busy_until: f64,
+    /// Channel occupancy frontier, in millibytes served since cycle 0.
+    /// `u128`: `now * millibytes_per_cycle` overflows `u64` for the huge
+    /// synthetic bandwidths the test harnesses use.
+    busy_until_mb: u128,
     read_bytes: u64,
     write_bytes: u64,
     requests: u64,
@@ -36,6 +49,8 @@ pub struct Dram {
 
 impl Dram {
     /// Creates a model with the given sustained bandwidth and latencies.
+    /// Bandwidth is quantized to whole millibytes per cycle at
+    /// construction; all per-request accounting is exact after that.
     ///
     /// # Panics
     ///
@@ -43,10 +58,10 @@ impl Dram {
     pub fn new(bytes_per_cycle: f64, stream_latency: u64, random_latency: u64) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
         Dram {
-            bytes_per_cycle,
+            millibytes_per_cycle: ((bytes_per_cycle * 1000.0).round() as u64).max(1),
             stream_latency,
             random_latency,
-            busy_until: 0.0,
+            busy_until_mb: 0,
             read_bytes: 0,
             write_bytes: 0,
             requests: 0,
@@ -55,6 +70,9 @@ impl Dram {
 
     /// Issues a request of `bytes` at cycle `now`; returns the cycle at
     /// which it completes (bandwidth serialization plus latency).
+    ///
+    /// A zero-byte request costs only latency: it neither occupies the
+    /// channel nor rounds the occupancy frontier up to `now`.
     pub fn request(&mut self, now: u64, bytes: u64, kind: AccessKind, is_write: bool) -> u64 {
         self.requests += 1;
         if is_write {
@@ -62,13 +80,17 @@ impl Dram {
         } else {
             self.read_bytes += bytes;
         }
-        let start = self.busy_until.max(now as f64);
-        self.busy_until = start + bytes as f64 / self.bytes_per_cycle;
         let latency = match kind {
             AccessKind::Stream => self.stream_latency,
             AccessKind::Random => self.random_latency,
         };
-        self.busy_until.ceil() as u64 + latency
+        if bytes == 0 {
+            return now + latency;
+        }
+        let mbpc = self.millibytes_per_cycle as u128;
+        let start = self.busy_until_mb.max(now as u128 * mbpc);
+        self.busy_until_mb = start + bytes as u128 * 1000;
+        (self.busy_until_mb.div_ceil(mbpc)) as u64 + latency
     }
 
     /// Total bytes read so far.
@@ -117,6 +139,34 @@ mod tests {
         // After a long idle gap the channel restarts from `now`.
         let r = d.request(1000, 4, AccessKind::Stream, false);
         assert_eq!(r, 1001);
+    }
+
+    #[test]
+    fn zero_byte_request_costs_only_latency() {
+        let mut d = Dram::new(4.0, 3, 30);
+        // A zero-byte request must not burn a grant slot...
+        assert_eq!(d.request(10, 0, AccessKind::Random, false), 40);
+        // ...so a following real request starts from `now`, not from a
+        // rounded-up frontier.
+        assert_eq!(d.request(10, 4, AccessKind::Stream, false), 14);
+        assert_eq!(d.read_bytes(), 4);
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn fractional_occupancy_is_exact_over_many_requests() {
+        // 3 B/cycle: each 1-byte request occupies exactly 1/3 cycle, which
+        // is not representable in binary floating point. After 3_000_000
+        // back-to-back requests the frontier must sit at exactly 1_000_000
+        // cycles — the old f64 accumulator drifted here.
+        let mut d = Dram::new(3.0, 0, 0);
+        let mut last = 0;
+        for _ in 0..3_000_000 {
+            last = d.request(0, 1, AccessKind::Stream, false);
+        }
+        assert_eq!(last, 1_000_000);
+        // One more byte lands in the next cycle.
+        assert_eq!(d.request(0, 1, AccessKind::Stream, false), 1_000_001);
     }
 
     #[test]

@@ -1,12 +1,25 @@
 //! The cycle-level simulation engine (Comal analogue).
 //!
-//! Every SAMML node is a state machine stepped once per cycle in topological
-//! order. A step first *flushes* previously produced tokens (at most one per
-//! output port per cycle — the fully pipelined II=1 rate of SAM/Comal), then
-//! retires completed memory requests, then performs at most one *action*
-//! (consume input tokens, produce output tokens, issue DRAM requests).
-//! Bounded channels provide backpressure; a [`Dram`] model serializes
-//! bandwidth. Simulation ends when every writer has received `Done`.
+//! Every SAMML node is a state machine; a step first *flushes* previously
+//! produced tokens (at most one per output port per cycle — the fully
+//! pipelined II=1 rate of SAM/Comal), then retires completed memory
+//! requests, then performs at most one *action* (consume input tokens,
+//! produce output tokens, issue DRAM requests). Bounded channels provide
+//! backpressure; a [`Dram`] model serializes bandwidth. Simulation ends
+//! when every writer has received `Done`.
+//!
+//! # Event-driven scheduling
+//!
+//! Nodes are *not* swept every cycle. [`Rt::step`] reports a
+//! [`StepOutcome`] and the shard loop ([`Shard::run_event`]) services a
+//! node only when a wake condition fires: a push into one of its input
+//! channels, a pop of one of its full output channels (channels carry
+//! reader/writer back-pointers), a registered timer (in-flight memory or
+//! busy ALU; see `sched.rs` for the calendar queue), or its own progress
+//! in the previous cycle. The legacy dense sweep is retained behind
+//! [`SimConfig::scheduler`] as a differential-testing oracle; the two are
+//! bit-identical (see the determinism notes on [`Shard::run_event`] and
+//! `crates/sim/tests/determinism.rs`).
 //!
 //! # Sharded parallel execution
 //!
@@ -27,11 +40,29 @@
 use crate::dram::{AccessKind, Dram};
 use crate::pool::parallel_map;
 use crate::rebuild::assemble_output;
-use crate::stats::Stats;
+use crate::sched::{ReadySet, WakeQueue};
+use crate::stats::{SchedCounters, Stats};
 use crate::TimingConfig;
 use fuseflow_sam::{AluOp, Block, GraphError, MemLocation, NodeKind, Payload, SamGraph, Token};
 use fuseflow_tensor::{Level, SparseTensor};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Which shard execution loop [`simulate`] runs.
+///
+/// Both schedulers are **bit-identical** on every graph: the event-driven
+/// engine performs exactly the effective (state-changing) steps of the
+/// sweep, in the same relative order, at the same simulated cycle — it only
+/// skips steps that are provably no-ops. The sweep is retained as the
+/// differential-testing oracle (`crates/sim/tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Event-driven ready-set + calendar wake queue (the default): only
+    /// nodes that can possibly progress are stepped.
+    #[default]
+    Event,
+    /// Legacy dense per-cycle sweep: every node steps every cycle.
+    Sweep,
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -46,6 +77,8 @@ pub struct SimConfig {
     /// shard on the calling thread; larger values run weakly-connected
     /// graph components concurrently with bit-identical results.
     pub threads: usize,
+    /// Shard execution loop; `Scheduler::Sweep` is the legacy oracle.
+    pub scheduler: Scheduler,
 }
 
 impl Default for SimConfig {
@@ -55,6 +88,7 @@ impl Default for SimConfig {
             channel_capacity: 256,
             max_cycles: 400_000_000,
             threads: 1,
+            scheduler: Scheduler::Event,
         }
     }
 }
@@ -63,6 +97,12 @@ impl SimConfig {
     /// Returns the config with the shard worker-pool size set.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the config with the given shard execution loop.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -158,15 +198,25 @@ pub struct SimResult {
 // Channels
 // ---------------------------------------------------------------------------
 
+/// Sentinel for a channel endpoint with no node attached (test harness
+/// channels that are pre-seeded or captured externally).
+const NO_NODE: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct Chan {
     buf: VecDeque<Token>,
     cap: usize,
+    /// Local index of the node that pops this channel (wake target for
+    /// pushes), or [`NO_NODE`].
+    reader: u32,
+    /// Local index of the node that pushes this channel (wake target for
+    /// full -> not-full transitions), or [`NO_NODE`].
+    writer: u32,
 }
 
 impl Chan {
-    fn new(cap: usize) -> Self {
-        Chan { buf: VecDeque::new(), cap }
+    fn new(cap: usize, writer: u32, reader: u32) -> Self {
+        Chan { buf: VecDeque::new(), cap, reader, writer }
     }
 }
 
@@ -242,6 +292,9 @@ struct Ctx<'a> {
     now: u64,
     flops: u64,
     pending_busy: u64,
+    /// Local node indices woken by channel activity during the current
+    /// step; drained by the event scheduler (ignored by the sweep).
+    wakes: Vec<u32>,
 }
 
 impl Ctx<'_> {
@@ -250,6 +303,55 @@ impl Ctx<'_> {
     fn busy(&mut self, cycles: u64) {
         self.pending_busy = self.pending_busy.max(cycles);
     }
+
+    /// Pushes a token and wakes the channel's reader. Readers are woken on
+    /// *every* push, not just empty -> nonempty: consumers like `Repeat`
+    /// and `Serializer` block on the channel's *depth* (`peek_at` beyond
+    /// the head), so a push into a nonempty channel can unblock them too.
+    fn push_chan(&mut self, c: usize, tok: Token) {
+        let ch = &mut self.chans[c];
+        ch.buf.push_back(tok);
+        if ch.reader != NO_NODE {
+            self.wakes.push(ch.reader);
+        }
+    }
+
+    /// Pops a token; wakes the channel's writer only on the full ->
+    /// not-full transition (a writer can only be flush-blocked on a
+    /// channel that is at capacity).
+    fn pop_chan(&mut self, c: usize) -> Token {
+        let ch = &mut self.chans[c];
+        let was_full = ch.buf.len() >= ch.cap;
+        let tok = ch.buf.pop_front().expect("pop from empty channel");
+        if was_full && ch.writer != NO_NODE {
+            self.wakes.push(ch.writer);
+        }
+        tok
+    }
+}
+
+/// What one [`Rt::step`] call did, and when the node next needs service.
+///
+/// The event scheduler keys off this: `Progressed` re-enqueues the node for
+/// the next cycle, `SleepingUntil` registers a calendar wake, and the two
+/// `Blocked*` variants arm nothing — the static channel back-pointers raise
+/// the wake when a peer pushes an input or drains a full output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// The step changed state (flushed, retired, or acted); step again next
+    /// cycle.
+    Progressed,
+    /// Waiting on input tokens; a push into any input channel re-arms it.
+    BlockedInput,
+    /// Flush-blocked: some output channel is at capacity; a pop of it
+    /// re-arms the node (which channel is recorded by the channel's own
+    /// writer back-pointer, so the scheduler needs no id here).
+    BlockedOutput,
+    /// Nothing runnable before the given cycle (in-flight memory at the
+    /// head of `pending_mem`, or a busy ALU).
+    SleepingUntil(u64),
+    /// `done` with all queues drained: the node never acts again.
+    Finished,
 }
 
 impl Rt {
@@ -285,7 +387,7 @@ impl Rt {
 
     fn pop(&self, ctx: &mut Ctx, port: usize) -> Token {
         let c = self.in_chans[port].expect("pop from unconnected port");
-        ctx.chans[c].buf.pop_front().expect("pop from empty channel")
+        ctx.pop_chan(c)
     }
 
     /// Can one token be pushed to every fan-out channel of this port?
@@ -311,8 +413,9 @@ impl Rt {
 
     // -- the per-cycle step ------------------------------------------------
 
-    fn step(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+    fn step(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
         let mut progress = false;
+        let mut flush_blocked = false;
 
         // Phase 1: flush one queued token per output port.
         for port in 0..self.out_q.len() {
@@ -330,9 +433,11 @@ impl Rt {
                     self.elems += 1;
                 }
                 for &c in &self.out_chans[port] {
-                    ctx.chans[c].buf.push_back(tok.clone());
+                    ctx.push_chan(c, tok.clone());
                 }
                 progress = true;
+            } else {
+                flush_blocked = true;
             }
         }
 
@@ -352,17 +457,33 @@ impl Rt {
         }
 
         // Phase 3: one action, if not busy and output queues drained.
-        if self.done || ctx.now < self.busy_until || self.out_q.iter().any(|q| !q.is_empty()) {
-            return Ok(progress);
-        }
-        let acted = self.action(ctx)?;
-        if acted {
-            let ii = self.ii_extra;
-            if ii > 0 {
-                self.busy_until = ctx.now + 1 + ii;
+        if !(self.done || ctx.now < self.busy_until || self.out_q.iter().any(|q| !q.is_empty())) {
+            let acted = self.action(ctx)?;
+            if acted {
+                let ii = self.ii_extra;
+                if ii > 0 {
+                    self.busy_until = ctx.now + 1 + ii;
+                }
             }
+            progress |= acted;
         }
-        Ok(progress || acted)
+
+        // Classify. A no-progress step never mutates node or channel state
+        // (actions commit only after every precondition peek succeeds), so
+        // the event scheduler may skip a node until one of the reported
+        // wake conditions fires — this is the sweep-equivalence invariant.
+        if progress {
+            return Ok(StepOutcome::Progressed);
+        }
+        if self.finished() {
+            return Ok(StepOutcome::Finished);
+        }
+        // After phase 2, any pending-memory head is strictly in the future,
+        // so `next_wake` is exact here.
+        if let Some(t) = self.next_wake(ctx.now) {
+            return Ok(StepOutcome::SleepingUntil(t));
+        }
+        Ok(if flush_blocked { StepOutcome::BlockedOutput } else { StepOutcome::BlockedInput })
     }
 
     // -- individual node actions ------------------------------------------
@@ -1288,31 +1409,178 @@ struct Shard {
     dram: Dram,
     now: u64,
     flops: u64,
+    sched: SchedCounters,
+}
+
+fn make_ctx<'a>(
+    chans: &'a mut [Chan],
+    dram: &'a mut Dram,
+    shared: &'a Shared<'a>,
+    now: u64,
+) -> Ctx<'a> {
+    Ctx {
+        chans,
+        dram,
+        tensors: shared.tensors,
+        tensor_locs: shared.tensor_locs,
+        output_locs: shared.output_locs,
+        cfg: shared.cfg,
+        now,
+        flops: 0,
+        pending_busy: 0,
+        wakes: Vec::new(),
+    }
 }
 
 impl Shard {
     /// Runs this shard to completion (all writers finished) or to an error.
     fn run(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
-        let mut ctx = Ctx {
-            chans: &mut self.chans,
-            dram: &mut self.dram,
-            tensors: shared.tensors,
-            tensor_locs: shared.tensor_locs,
-            output_locs: shared.output_locs,
-            cfg: shared.cfg,
-            now: self.now,
-            flops: 0,
-            pending_busy: 0,
-        };
+        match shared.cfg.scheduler {
+            Scheduler::Event => self.run_event(shared),
+            Scheduler::Sweep => self.run_sweep(shared),
+        }
+    }
+
+    /// The event-driven execution loop: a ready set drained in ascending
+    /// topological rank plus a calendar wake queue.
+    ///
+    /// **Bit-identity with the sweep.** The sweep steps every node at every
+    /// visited cycle, in topological-order rank; a step with no progress is
+    /// a pure no-op (see [`Rt::step`]). This loop steps exactly the nodes
+    /// whose wake conditions fired, in the same ascending-rank order, at
+    /// the same cycle the sweep would have serviced them:
+    ///
+    /// * a push wakes the channel's reader — in the *current* cycle when
+    ///   the reader's rank is still ahead of the drain cursor (the sweep
+    ///   would reach it later this cycle), else in the next;
+    /// * a pop from a full channel wakes the writer the same way;
+    /// * a node that progressed re-steps next cycle (as the sweep would);
+    /// * a node stalled on memory or a busy ALU registers a timer for its
+    ///   exact wake cycle.
+    ///
+    /// Any node not woken is in a state where the sweep's step would no-op,
+    /// so skipping it cannot change outputs, counters, or the clock. The
+    /// clock itself advances to `now + 1` whenever any node is scheduled
+    /// there (exactly the cycles the sweep visits after progress) and
+    /// otherwise jumps to the earliest timer — the same target as the
+    /// sweep's idle fast-forward, without its O(nodes) `next_wake` scan.
+    /// Writer completion is tracked with a `live_writers` counter instead
+    /// of the sweep's O(nodes) `writers_done` rescan per cycle.
+    fn run_event(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
+        let n = self.order.len();
+        let mut rank_of = vec![0u32; n];
+        for (rank, &node) in self.order.iter().enumerate() {
+            rank_of[node] = rank as u32;
+        }
+        let is_writer: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|n| matches!(n.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. }))
+            .collect();
+        let mut writer_live: Vec<bool> =
+            self.nodes.iter().zip(&is_writer).map(|(n, &w)| w && !n.finished()).collect();
+        let mut live_writers = writer_live.iter().filter(|&&w| w).count();
+
+        let mut cur = ReadySet::new(n);
+        let mut next = ReadySet::new(n);
+        for rank in 0..n {
+            cur.insert(rank);
+        }
+        let mut wakes = WakeQueue::new(n);
+        let mut counters = SchedCounters::default();
+
+        let order = std::mem::take(&mut self.order);
+        let nodes = &mut self.nodes;
+        let mut ctx = make_ctx(&mut self.chans, &mut self.dram, shared, self.now);
         let res = 'run: loop {
-            let mut progress = false;
-            for &i in &self.order {
-                match self.nodes[i].step(&mut ctx) {
-                    Ok(p) => progress |= p,
+            // Drain this cycle's ready set in ascending rank (= sweep order).
+            let mut stepped = 0u64;
+            let mut pos = 0;
+            while let Some(rank) = cur.pop_ge(pos) {
+                pos = rank;
+                let node = order[rank];
+                let outcome = match nodes[node].step(&mut ctx) {
+                    Ok(o) => o,
                     Err(e) => break 'run Err(e),
+                };
+                stepped += 1;
+                // Channel wakes raised by this step: same-cycle if the
+                // target is still ahead of the drain cursor, else next.
+                for k in 0..ctx.wakes.len() {
+                    let w = rank_of[ctx.wakes[k] as usize] as usize;
+                    if w > rank {
+                        cur.insert(w);
+                    } else {
+                        next.insert(w);
+                    }
+                }
+                ctx.wakes.clear();
+                match outcome {
+                    StepOutcome::Progressed => next.insert(rank),
+                    StepOutcome::SleepingUntil(t) => wakes.schedule(ctx.now, t, rank as u32),
+                    StepOutcome::BlockedInput
+                    | StepOutcome::BlockedOutput
+                    | StepOutcome::Finished => {}
+                }
+                if writer_live[node] && nodes[node].finished() {
+                    writer_live[node] = false;
+                    live_writers -= 1;
                 }
             }
-            let writers_done = self.nodes.iter().all(|n| {
+            counters.events += stepped;
+            counters.peak_ready = counters.peak_ready.max(stepped);
+            // Same termination point as the sweep: it checks writers after
+            // sweeping a full cycle, so the whole ready set drains first.
+            if live_writers == 0 {
+                ctx.now += 1;
+                break 'run Ok(());
+            }
+            let t_next = if !next.is_empty() {
+                ctx.now + 1
+            } else {
+                match wakes.next_time(ctx.now) {
+                    Some(t) => t,
+                    None => {
+                        let detail = deadlock_detail(nodes, ctx.chans);
+                        break 'run Err(SimError::Deadlock { cycle: ctx.now, detail });
+                    }
+                }
+            };
+            counters.cycles_skipped += t_next - ctx.now - 1;
+            ctx.now = t_next;
+            if ctx.now > ctx.cfg.max_cycles {
+                break 'run Err(SimError::MaxCycles(ctx.cfg.max_cycles));
+            }
+            std::mem::swap(&mut cur, &mut next);
+            wakes.drain_at(ctx.now, &mut cur);
+        };
+        self.now = ctx.now;
+        self.flops += ctx.flops;
+        self.order = order;
+        self.sched.merge(&counters);
+        res
+    }
+
+    /// The legacy dense sweep: every node steps at every visited cycle.
+    /// Kept as the differential-testing oracle for the event scheduler
+    /// ([`Scheduler::Sweep`]).
+    fn run_sweep(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
+        let order = std::mem::take(&mut self.order);
+        let mut counters = SchedCounters::default();
+        let nodes = &mut self.nodes;
+        let mut ctx = make_ctx(&mut self.chans, &mut self.dram, shared, self.now);
+        let res = 'run: loop {
+            let mut progress = false;
+            for &i in &order {
+                match nodes[i].step(&mut ctx) {
+                    Ok(o) => progress |= o == StepOutcome::Progressed,
+                    Err(e) => break 'run Err(e),
+                }
+                ctx.wakes.clear();
+            }
+            counters.events += order.len() as u64;
+            counters.peak_ready = counters.peak_ready.max(order.len() as u64);
+            let writers_done = nodes.iter().all(|n| {
                 !matches!(n.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. })
                     || n.finished()
             });
@@ -1326,11 +1594,14 @@ impl Shard {
                 // Distinguish stalls on memory latency / initiation intervals
                 // from true deadlock: fast-forward to the next wake-up time.
                 let now = ctx.now;
-                let next_wake = self.nodes.iter().filter_map(|n| n.next_wake(now)).min();
+                let next_wake = nodes.iter().filter_map(|n| n.next_wake(now)).min();
                 match next_wake {
-                    Some(t) => ctx.now = t,
+                    Some(t) => {
+                        counters.cycles_skipped += t - ctx.now - 1;
+                        ctx.now = t;
+                    }
                     None => {
-                        let detail = deadlock_detail(&self.nodes, ctx.chans);
+                        let detail = deadlock_detail(nodes, ctx.chans);
                         break 'run Err(SimError::Deadlock { cycle: ctx.now, detail });
                     }
                 }
@@ -1341,37 +1612,28 @@ impl Shard {
         };
         self.now = ctx.now;
         self.flops += ctx.flops;
+        self.order = order;
+        self.sched.merge(&counters);
         res
     }
 
     /// Runs a single isolated node until it can make no further progress,
-    /// fast-forwarding over busy/memory stalls exactly like [`Shard::run`].
+    /// fast-forwarding over busy/memory stalls exactly like the shard
+    /// loops do.
     fn run_standalone(&mut self, shared: &Shared<'_>, budget: u64) -> Result<(), SimError> {
-        let mut ctx = Ctx {
-            chans: &mut self.chans,
-            dram: &mut self.dram,
-            tensors: shared.tensors,
-            tensor_locs: shared.tensor_locs,
-            output_locs: shared.output_locs,
-            cfg: shared.cfg,
-            now: self.now,
-            flops: 0,
-            pending_busy: 0,
-        };
+        let nodes = &mut self.nodes;
+        let mut ctx = make_ctx(&mut self.chans, &mut self.dram, shared, self.now);
         let res = 'run: loop {
-            match self.nodes[0].step(&mut ctx) {
-                Ok(true) => ctx.now += 1,
-                Ok(false) => {
-                    // No progress this cycle: distinguish exhausted inputs
-                    // from a stall on `busy_until` / in-flight memory, which
-                    // still hold undelivered output.
-                    match self.nodes[0].next_wake(ctx.now) {
-                        Some(t) => ctx.now = t,
-                        None => break 'run Ok(()),
-                    }
-                }
+            match nodes[0].step(&mut ctx) {
+                Ok(StepOutcome::Progressed) => ctx.now += 1,
+                // Stalled on `busy_until` / in-flight memory, which still
+                // holds undelivered output: jump to the wake-up time.
+                Ok(StepOutcome::SleepingUntil(t)) => ctx.now = t,
+                // Exhausted inputs (or finished): the stream is complete.
+                Ok(_) => break 'run Ok(()),
                 Err(e) => break 'run Err(e),
             }
+            ctx.wakes.clear();
             if ctx.now > budget {
                 break 'run Err(SimError::MaxCycles(budget));
             }
@@ -1540,22 +1802,36 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
             ),
             now: 0,
             flops: 0,
+            sched: SchedCounters::default(),
         })
         .collect();
 
-    // Channels: one per edge, ids local to the owning shard.
+    // Shard-local node indices, assigned in increasing global-id order
+    // (needed up front so channels can carry reader/writer back-pointers).
+    let mut local_of = vec![0usize; graph.node_count()];
+    let mut shard_sizes = vec![0usize; n_shards];
+    for (i, slot) in local_of.iter_mut().enumerate() {
+        *slot = shard_sizes[shard_of[i]];
+        shard_sizes[shard_of[i]] += 1;
+    }
+
+    // Channels: one per edge, ids local to the owning shard, each carrying
+    // back-pointers to its writing (src) and reading (dst) node for the
+    // event scheduler's wake lists.
     let fanin = graph.fanin();
     let fanout = graph.fanout();
     let mut edge_chan: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
     for e in graph.edges() {
         let s = shard_of[e.src.node.0];
         let id = shards[s].chans.len();
-        shards[s].chans.push(Chan::new(cfg.channel_capacity));
+        shards[s].chans.push(Chan::new(
+            cfg.channel_capacity,
+            local_of[e.src.node.0] as u32,
+            local_of[e.dst.node.0] as u32,
+        ));
         edge_chan.insert((e.src.node.0, e.src.port, e.dst.node.0, e.dst.port), id);
     }
 
-    // Nodes, with shard-local indices in increasing global-id order.
-    let mut local_of = vec![0usize; graph.node_count()];
     for (i, kind) in graph.nodes().iter().enumerate() {
         let n_in = kind.input_ports().len();
         let n_out = kind.output_ports().len();
@@ -1574,7 +1850,7 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
             }
         }
         let shard = &mut shards[shard_of[i]];
-        local_of[i] = shard.nodes.len();
+        debug_assert_eq!(local_of[i], shard.nodes.len());
         shard.nodes.push(make_rt(
             kind.clone(),
             graph.label(fuseflow_sam::NodeId(i)).to_string(),
@@ -1628,8 +1904,10 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
         dram_write_bytes: shards.iter().map(|s| s.dram.write_bytes()).sum(),
         flops: shards.iter().map(|s| s.flops).sum(),
         node_tokens: HashMap::new(),
+        sched: SchedCounters::default(),
     };
     for shard in &shards {
+        stats.sched.merge(&shard.sched);
         for rt in &shard.nodes {
             *stats.node_tokens.entry(rt.label.clone()).or_insert(0) += rt.elems;
         }
@@ -1697,7 +1975,8 @@ pub fn run_node_standalone(
     let mut in_chans = vec![None; n_in];
     for (p, toks) in inputs.iter().enumerate() {
         if !toks.is_empty() {
-            let mut c = Chan::new(usize::MAX);
+            // Pre-seeded by the harness: no writer node.
+            let mut c = Chan::new(usize::MAX, NO_NODE, 0);
             c.buf.extend(toks.iter().cloned());
             chans.push(c);
             in_chans[p] = Some(chans.len() - 1);
@@ -1706,7 +1985,8 @@ pub fn run_node_standalone(
     let mut out_chans = vec![Vec::new(); n_out];
     let mut capture = Vec::new();
     for (p, oc) in out_chans.iter_mut().enumerate() {
-        chans.push(Chan::new(usize::MAX));
+        // Captured by the harness: no reader node.
+        chans.push(Chan::new(usize::MAX, 0, NO_NODE));
         oc.push(chans.len() - 1);
         capture.push((p, chans.len() - 1));
     }
@@ -1728,6 +2008,7 @@ pub fn run_node_standalone(
         dram: Dram::new(1e9, 0, 0),
         now: 0,
         flops: 0,
+        sched: SchedCounters::default(),
     };
     shard.run_standalone(&shared, 10_000_000)?;
     Ok(capture.into_iter().map(|(_, c)| shard.chans[c].buf.iter().cloned().collect()).collect())

@@ -35,11 +35,14 @@ mod dram;
 mod engine;
 mod pool;
 mod rebuild;
+mod sched;
 mod stats;
 
 pub use backend::TimingConfig;
 pub use dram::{AccessKind, Dram};
-pub use engine::{run_node_standalone, simulate, SimConfig, SimError, SimResult, TensorEnv};
+pub use engine::{
+    run_node_standalone, simulate, Scheduler, SimConfig, SimError, SimResult, TensorEnv,
+};
 pub use pool::parallel_map;
 pub use rebuild::{assemble_output, streams_to_entries};
-pub use stats::Stats;
+pub use stats::{SchedCounters, Stats};

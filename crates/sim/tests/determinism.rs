@@ -7,7 +7,7 @@
 //! runs shards concurrently.
 
 use fuseflow_sam::{AluOp, Block, MemLocation, NodeKind, Payload, ReduceOp, SamGraph, Token};
-use fuseflow_sim::{run_node_standalone, simulate, SimConfig, SimResult, TensorEnv};
+use fuseflow_sim::{run_node_standalone, simulate, Scheduler, SimConfig, SimResult, TensorEnv};
 use fuseflow_tensor::{gen, reference, Format};
 
 fn assert_bit_identical(seq: &SimResult, par: &SimResult) {
@@ -19,6 +19,21 @@ fn assert_bit_identical(seq: &SimResult, par: &SimResult) {
     );
     for (name, t) in &seq.outputs {
         assert_eq!(Some(t), par.outputs.get(name), "output '{name}' diverged");
+    }
+}
+
+/// Event-vs-sweep comparison: outputs and *semantic* stats (cycles, FLOPs,
+/// bytes, token counts) must be bit-identical; only the
+/// scheduler-implementation counters (`stats.sched`) may differ.
+fn assert_schedulers_agree(event: &SimResult, sweep: &SimResult) {
+    assert_eq!(
+        event.stats.semantic(),
+        sweep.stats.semantic(),
+        "semantic stats must not depend on the scheduler backend"
+    );
+    assert_eq!(event.outputs.len(), sweep.outputs.len());
+    for (name, t) in &event.outputs {
+        assert_eq!(Some(t), sweep.outputs.get(name), "output '{name}' diverged across schedulers");
     }
 }
 
@@ -237,4 +252,116 @@ fn standalone_scanner_drains_pending_memory() {
 fn threads_knob_clamps_to_one() {
     let cfg = SimConfig::default().with_threads(0);
     assert_eq!(cfg.threads, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven scheduler vs. the legacy sweep oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn event_scheduler_is_default() {
+    assert_eq!(SimConfig::default().scheduler, Scheduler::Event);
+}
+
+#[test]
+fn spmm_event_bit_identical_to_sweep() {
+    let a = gen::adjacency(24, 0.12, gen::GraphPattern::Uniform, 42, &Format::csr());
+    let x = gen::sparse_features(24, 16, 0.3, 7, &Format::csr());
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 24, 16);
+    let mut env = TensorEnv::new();
+    env.insert("A", a);
+    env.insert("X", x);
+    let event = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let sweep = simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Sweep)).unwrap();
+    assert_schedulers_agree(&event, &sweep);
+    // The event engine must actually be doing less scheduler work: every
+    // visited cycle, the sweep steps all nodes; the event engine only the
+    // woken ones.
+    assert!(
+        event.stats.sched.events < sweep.stats.sched.events,
+        "event engine stepped {} nodes vs sweep {}",
+        event.stats.sched.events,
+        sweep.stats.sched.events
+    );
+}
+
+#[test]
+fn multi_shard_event_bit_identical_to_sweep_at_all_thread_counts() {
+    let mut g = SamGraph::new();
+    let mut env = TensorEnv::new();
+    for i in 0..4 {
+        let name = format!("B{i}");
+        let out = format!("T{i}");
+        add_copy_pipeline(&mut g, &name, &out, [12, 12]);
+        env.insert(
+            name,
+            gen::sparse_features(12, 12, 0.2 + 0.1 * i as f64, 30 + i as u64, &Format::csr()),
+        );
+    }
+    let sweep = simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Sweep)).unwrap();
+    for threads in [1, 2, 4, 16] {
+        let event = simulate(&g, &env, &SimConfig::default().with_threads(threads)).unwrap();
+        assert_schedulers_agree(&event, &sweep);
+    }
+}
+
+/// Long-latency stall coverage: block ALUs occupy the unit for many cycles
+/// and DRAM gathers park tokens in `pending_mem`, exercising the calendar
+/// queue's timer wakes (including idle-gap jumps) on both backends.
+#[test]
+fn latency_dominated_graph_event_bit_identical_to_sweep() {
+    use fuseflow_sim::TimingConfig;
+    let a = gen::adjacency(16, 0.2, gen::GraphPattern::PowerLaw, 9, &Format::csr());
+    let x = gen::sparse_features(16, 8, 0.4, 10, &Format::csr());
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 16, 8);
+    let mut env = TensorEnv::new();
+    env.insert("A", a);
+    env.insert("X", x);
+    let mut timing = TimingConfig::comal();
+    timing.dram_stream_latency = 96;
+    timing.dram_random_latency = 700; // beyond the calendar horizon: heap path
+    timing.outstanding = 2;
+    let cfg = SimConfig { timing, ..SimConfig::default() };
+    let event = simulate(&g, &env, &cfg).unwrap();
+    let sweep = simulate(&g, &env, &cfg.clone().with_scheduler(Scheduler::Sweep)).unwrap();
+    assert_schedulers_agree(&event, &sweep);
+    assert!(event.stats.sched.cycles_skipped > 0, "expected idle-gap fast-forwards");
+}
+
+#[test]
+fn error_paths_match_across_schedulers() {
+    // Exhausted cycle budget must be reported at the same point.
+    let mut g = SamGraph::new();
+    add_copy_pipeline(&mut g, "B0", "T0", [8, 8]);
+    let mut env = TensorEnv::new();
+    env.insert("B0", gen::sparse_features(8, 8, 0.3, 3, &Format::csr()));
+    let tiny = SimConfig { max_cycles: 2, ..SimConfig::default() };
+    let event = simulate(&g, &env, &tiny).unwrap_err();
+    let sweep = simulate(&g, &env, &tiny.clone().with_scheduler(Scheduler::Sweep)).unwrap_err();
+    assert_eq!(event, fuseflow_sim::SimError::MaxCycles(2));
+    assert_eq!(event, sweep);
+
+    // A run that genuinely deadlocks must report the same cycle under both
+    // schedulers: with `outstanding = 0` no node can ever issue a memory
+    // request, so after the initial token exchanges every node starves with
+    // no pending wake-up.
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 8, 8);
+    let mut env = TensorEnv::new();
+    env.insert("A", gen::adjacency(8, 0.3, gen::GraphPattern::Uniform, 5, &Format::csr()));
+    env.insert("X", gen::sparse_features(8, 8, 0.4, 6, &Format::csr()));
+    let mut timing = fuseflow_sim::TimingConfig::comal();
+    timing.outstanding = 0;
+    let cfg = SimConfig { timing, ..SimConfig::default() };
+    let event = simulate(&g, &env, &cfg);
+    let sweep = simulate(&g, &env, &cfg.clone().with_scheduler(Scheduler::Sweep));
+    match (event, sweep) {
+        (
+            Err(fuseflow_sim::SimError::Deadlock { cycle: ce, .. }),
+            Err(fuseflow_sim::SimError::Deadlock { cycle: cs, .. }),
+        ) => assert_eq!(ce, cs, "deadlock reported at different cycles"),
+        (e, s) => panic!("expected deadlocks, got {e:?} / {s:?}"),
+    }
 }

@@ -3,10 +3,10 @@
 //! programs, POG order validity, and stream well-formedness.
 
 use fuseflow::core::ir::{OpKind, Program};
-use fuseflow::core::pipeline::compile_run_verify;
+use fuseflow::core::pipeline::{compile, compile_run_verify, run};
 use fuseflow::core::schedule::Schedule;
 use fuseflow::core::{fuse_region, GlobalIx};
-use fuseflow::sim::SimConfig;
+use fuseflow::sim::{Scheduler, SimConfig};
 use fuseflow::tensor::{CooEntry, DenseTensor, Format, LevelFormat, SparseTensor};
 use proptest::prelude::*;
 
@@ -90,6 +90,45 @@ proptest! {
         inputs.insert("A".to_string(), SparseTensor::from_coo(vec![6, 6], a_entries, &Format::dcsr()).unwrap());
         inputs.insert("B".to_string(), SparseTensor::from_coo(vec![6, 6], b_entries, &Format::dcsr()).unwrap());
         compile_run_verify(&p, &Schedule::full(), &inputs, &SimConfig::default()).unwrap();
+    }
+
+    /// Random small programs simulate to bit-identical outputs and
+    /// semantic `Stats` under the event-driven scheduler and the legacy
+    /// sweep, at every thread count (the cross-scheduler /
+    /// cross-parallelism determinism invariant).
+    #[test]
+    fn schedulers_and_thread_counts_agree_on_random_graphs(
+        a_entries in coo_matrix(7, 7),
+        x_entries in coo_matrix(7, 5),
+        fused in any::<bool>(),
+    ) {
+        let mut p = Program::new();
+        let (i, k, j) = (p.index("i"), p.index("k"), p.index("j"));
+        let a = p.input("A", vec![7, 7], Format::csr());
+        let x = p.input("X", vec![7, 5], Format::csr());
+        let t = p.contract("T", vec![i, j], vec![(a, vec![i, k]), (x, vec![k, j])], vec![k], Format::csr());
+        let r = p.map("R", fuseflow_sam::AluOp::Relu, (t, vec![i, j]), Format::csr());
+        p.mark_output(r);
+        let mut inputs = std::collections::HashMap::new();
+        inputs.insert("A".to_string(), SparseTensor::from_coo(vec![7, 7], a_entries, &Format::csr()).unwrap());
+        inputs.insert("X".to_string(), SparseTensor::from_coo(vec![7, 5], x_entries, &Format::csr()).unwrap());
+        let sched = if fused { Schedule::full() } else { Schedule::unfused() };
+        let compiled = compile(&p, &sched).unwrap();
+
+        let base = run(&p, &compiled, &inputs, &SimConfig::default()).unwrap();
+        for scheduler in [Scheduler::Event, Scheduler::Sweep] {
+            for threads in [1usize, 2, 4] {
+                let cfg = SimConfig::default().with_scheduler(scheduler).with_threads(threads);
+                let other = run(&p, &compiled, &inputs, &cfg).unwrap();
+                prop_assert_eq!(
+                    base.stats.semantic(),
+                    other.stats.semantic(),
+                    "stats diverged for {:?} x {} threads", scheduler, threads
+                );
+                prop_assert_eq!(&base.outputs, &other.outputs,
+                    "outputs diverged for {:?} x {} threads", scheduler, threads);
+            }
+        }
     }
 
     /// Every order the POG enumerates respects every edge, and the exact
