@@ -7,7 +7,7 @@ use fuseflow_core::pipeline::{compile, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_core::{estimate, fuse_region};
 use fuseflow_models::{
-    gcn, gpt_attention, gpt_attention_blocked, graphsage, sae, Fusion, GraphDataset,
+    gcn, gpt_attention, gpt_attention_blocked, graphsage, map_stack, sae, Fusion, GraphDataset,
 };
 use fuseflow_sim::{parallel_map, Scheduler, SimConfig, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
@@ -193,14 +193,44 @@ fn sweep_throughput(c: &mut Criterion) {
 /// regime the event engine is built for.
 fn sched_throughput(c: &mut Criterion) {
     let m = gcn(&tiny_graph(), 8, 4, 11);
-    let compiled = compile(&m.program, &m.schedule(Fusion::Partial)).unwrap();
     let mut timing = TimingConfig::comal();
     timing.dram_stream_latency = 96;
     timing.dram_random_latency = 480;
     let mut g = c.benchmark_group("sched_throughput");
-    for (name, sched) in [("sweep", Scheduler::Sweep), ("event", Scheduler::Event)] {
-        let cfg = SimConfig { timing: timing.clone(), scheduler: sched, ..SimConfig::default() };
-        g.bench_function(name, |b| {
+    // The partially-fused kernel keeps the historical `sweep`/`event`
+    // bench ids; the fully-fused kernel (one large graph, long chains —
+    // the compiled backend's target regime) gets a `fused_` prefix.
+    for (wname, fusion) in [("", Fusion::Partial), ("fused_", Fusion::Full)] {
+        let compiled = compile(&m.program, &m.schedule(fusion)).unwrap();
+        for (sname, sched) in [
+            ("sweep", Scheduler::Sweep),
+            ("event", Scheduler::Event),
+            ("compiled", Scheduler::Compiled),
+        ] {
+            let cfg =
+                SimConfig { timing: timing.clone(), scheduler: sched, ..SimConfig::default() };
+            g.bench_function(format!("{wname}{sname}"), |b| {
+                b.iter(|| run(&m.program, &compiled, &m.inputs, &cfg).unwrap().stats.cycles)
+            });
+        }
+    }
+    // The deep activation pipeline on a near memory (low latency, deep
+    // outstanding-request queue) keeps every chain member busy each cycle
+    // — the throughput regime where the compiled backend's fused-chain
+    // step dominates simulator wall-clock.
+    let m = map_stack(48, 32, 0.5, 9);
+    let mut near = TimingConfig::comal();
+    near.dram_stream_latency = 2;
+    near.dram_random_latency = 8;
+    near.outstanding = 64;
+    let compiled = compile(&m.program, &m.schedule(Fusion::Full)).unwrap();
+    for (sname, sched) in [
+        ("sweep", Scheduler::Sweep),
+        ("event", Scheduler::Event),
+        ("compiled", Scheduler::Compiled),
+    ] {
+        let cfg = SimConfig { timing: near.clone(), scheduler: sched, ..SimConfig::default() };
+        g.bench_function(format!("chain_{sname}"), |b| {
             b.iter(|| run(&m.program, &compiled, &m.inputs, &cfg).unwrap().stats.cycles)
         });
     }

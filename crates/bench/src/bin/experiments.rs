@@ -17,8 +17,8 @@ use fuseflow_core::fuse_region;
 use fuseflow_core::pipeline::{compile, compile_at, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_models::{
-    gcn, gpt_attention, gpt_attention_blocked, gpt_decoder, graphsage, sae, Fusion, GraphDataset,
-    ModelInstance, GRAPH_DATASETS, SAE_DATASETS,
+    gcn, gpt_attention, gpt_attention_blocked, gpt_decoder, graphsage, map_stack, sae, Fusion,
+    GraphDataset, ModelInstance, GRAPH_DATASETS, SAE_DATASETS,
 };
 use fuseflow_sam::MemLocation;
 use fuseflow_sim::{parallel_map, Scheduler, SimConfig, Stats, TimingConfig};
@@ -40,16 +40,27 @@ struct Opts {
 /// `BENCH_sim.json` (label -> simulated cycles).
 type Points = Vec<(String, u64)>;
 
-/// One sweep-vs-event scheduler measurement (the `sched` experiment).
+/// One three-way scheduler measurement (the `sched` experiment): the same
+/// workload under the legacy sweep, the event-driven scheduler, and the
+/// compiled chain-fused backend.
 struct SchedRow {
     workload: String,
     cycles: u64,
+    /// Simulated cycles under `Scheduler::Compiled`. Always equals
+    /// `cycles` (bit-identity is asserted before the row is recorded);
+    /// kept as a separate column so CI's drift gate checks it
+    /// independently.
+    cycles_compiled: u64,
     sweep_wall_s: f64,
     event_wall_s: f64,
+    compiled_wall_s: f64,
     sweep_events: u64,
     event_events: u64,
+    compiled_events: u64,
     cycles_skipped: u64,
     peak_ready: u64,
+    fused_chains: u64,
+    fused_chain_nodes: u64,
 }
 
 /// Machine-readable run report, written to `BENCH_sim.json` at the repo
@@ -100,20 +111,30 @@ impl Report {
         for (ri, r) in self.sched.iter().enumerate() {
             let comma = if ri + 1 < self.sched.len() { "," } else { "" };
             let speedup = r.sweep_wall_s / r.event_wall_s.max(1e-9);
+            let speedup_compiled = r.event_wall_s / r.compiled_wall_s.max(1e-9);
             let _ = writeln!(
                 j,
-                "    {{\"workload\": \"{}\", \"cycles\": {}, \"sweep_wall_s\": {:.4}, \
-                 \"event_wall_s\": {:.4}, \"speedup\": {:.2}, \"sweep_events\": {}, \
-                 \"event_events\": {}, \"cycles_skipped\": {}, \"peak_ready\": {}}}{comma}",
+                "    {{\"workload\": \"{}\", \"cycles\": {}, \"cycles_compiled\": {}, \
+                 \"sweep_wall_s\": {:.4}, \"event_wall_s\": {:.4}, \"compiled_wall_s\": {:.4}, \
+                 \"speedup\": {:.2}, \"speedup_compiled_vs_event\": {:.2}, \
+                 \"sweep_events\": {}, \"event_events\": {}, \"compiled_events\": {}, \
+                 \"cycles_skipped\": {}, \"peak_ready\": {}, \
+                 \"fused_chains\": {}, \"fused_chain_nodes\": {}}}{comma}",
                 json_escape(&r.workload),
                 r.cycles,
+                r.cycles_compiled,
                 r.sweep_wall_s,
                 r.event_wall_s,
+                r.compiled_wall_s,
                 speedup,
+                speedup_compiled,
                 r.sweep_events,
                 r.event_events,
+                r.compiled_events,
                 r.cycles_skipped,
-                r.peak_ready
+                r.peak_ready,
+                r.fused_chains,
+                r.fused_chain_nodes
             );
         }
         let _ = writeln!(j, "  ]");
@@ -694,12 +715,13 @@ fn table4(o: Opts) -> Points {
 }
 
 /// Scheduler comparison: the same workloads simulated under the legacy
-/// dense per-cycle sweep and the event-driven calendar-queue scheduler.
-/// Semantic results are asserted bit-identical; what differs is simulator
-/// wall-clock, which this experiment records (with the event engine's
-/// counters) into `BENCH_sim.json`.
+/// dense per-cycle sweep, the event-driven calendar-queue scheduler, and
+/// the compiled chain-fused backend. Semantic results are asserted
+/// bit-identical across all three; what differs is simulator wall-clock,
+/// which this experiment records (with the event/compiled engine counters)
+/// into `BENCH_sim.json`.
 fn sched(o: Opts, rep: &mut Report) -> Points {
-    println!("\n== Sched: sweep vs event-driven scheduler (wall-clock) ==");
+    println!("\n== Sched: sweep vs event vs compiled scheduler (wall-clock) ==");
     let ds = GraphDataset {
         name: "karate",
         nodes: if o.quick { 24 } else { 34 },
@@ -727,13 +749,46 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
         ),
         ("gcn_fused", gcn(&ds, 8, 4, 3), Schedule::full(), sim()),
         ("gcn_fused_far", gcn(&ds, 8, 4, 3), Schedule::full(), SimConfig { timing: far, ..sim() }),
+        // Deep elementwise pipelines (matmul -> bias -> nonlinearity,
+        // twice): the fully-fused schedules produce the long
+        // producer-consumer chains the compiled backend targets.
+        {
+            let m = if o.quick {
+                sae("sae", 24, 12, 8, 0.5, 7)
+            } else {
+                sae("sae", 48, 24, 16, 0.5, 7)
+            };
+            ("sae_fused", m, Schedule::full(), sim())
+        },
+        {
+            let m = if o.quick { gpt_attention(24, 8, 8, 5) } else { gpt_attention(48, 8, 8, 5) };
+            ("gpt_fused", m, Schedule::full(), sim())
+        },
+        // A pure activation pipeline: the fully-fused schedule is one long
+        // single-reader/single-writer chain (the compiled backend's target
+        // regime; see fuseflow_models::map_stack). Simulated against a
+        // near memory (low latency, deep outstanding-request queue) so the
+        // source sustains ~1 token/cycle and the whole chain stays busy:
+        // under the default DRAM timing the random-gather source caps the
+        // pipe at ~outstanding/latency tokens per cycle and the comparison
+        // degenerates into a memory-model benchmark all three schedulers
+        // pay identically.
+        {
+            let m = if o.quick { map_stack(48, 24, 0.5, 9) } else { map_stack(96, 48, 0.5, 9) };
+            let mut near = TimingConfig::comal();
+            near.dram_stream_latency = 2;
+            near.dram_random_latency = 8;
+            near.outstanding = 64;
+            ("stack_fused", m, Schedule::full(), SimConfig { timing: near, ..sim() })
+        },
     ];
     if !o.quick {
         workloads.push(("graphsage_fused", graphsage(&ds, 8, 4, 5), Schedule::full(), sim()));
     }
     let mut csv = String::from(
-        "workload,cycles,sweep_wall_s,event_wall_s,speedup,sweep_events,event_events,\
-         cycles_skipped,peak_ready\n",
+        "workload,cycles,cycles_compiled,sweep_wall_s,event_wall_s,compiled_wall_s,\
+         speedup,speedup_compiled_vs_event,sweep_events,event_events,compiled_events,\
+         cycles_skipped,peak_ready,fused_chains,fused_chain_nodes\n",
     );
     let mut points = Points::new();
     let reps = if o.quick { 2 } else { 3 };
@@ -752,43 +807,65 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
         };
         let (ev, event_wall) = timed(&cfg);
         let (sw, sweep_wall) = timed(&cfg.clone().with_scheduler(Scheduler::Sweep));
+        let (co, compiled_wall) = timed(&cfg.clone().with_scheduler(Scheduler::Compiled));
         assert_eq!(
             ev.semantic(),
             sw.semantic(),
-            "{name}: schedulers diverged (this is a simulator bug)"
+            "{name}: event vs sweep diverged (this is a simulator bug)"
+        );
+        assert_eq!(
+            ev.semantic(),
+            co.semantic(),
+            "{name}: event vs compiled diverged (this is a simulator bug)"
         );
         let speedup = sweep_wall / event_wall.max(1e-9);
+        let speedup_compiled = event_wall / compiled_wall.max(1e-9);
         println!(
-            "  {name:14} {:>10} cycles  sweep {:.4}s  event {:.4}s  {speedup:.2}x  \
-             (events {} -> {}, skipped {}, peak ready {})",
+            "  {name:14} {:>10} cycles  sweep {:.4}s  event {:.4}s  compiled {:.4}s  \
+             {speedup:.2}x / {speedup_compiled:.2}x  \
+             (events {} -> {} -> {}, skipped {}, peak ready {}, chains {}/{} nodes)",
             ev.cycles,
             sweep_wall,
             event_wall,
+            compiled_wall,
             sw.sched.events,
             ev.sched.events,
+            co.sched.events,
             ev.sched.cycles_skipped,
-            ev.sched.peak_ready
+            ev.sched.peak_ready,
+            co.sched.fused_chains,
+            co.sched.fused_chain_nodes
         );
         writeln!(
             csv,
-            "{name},{},{sweep_wall:.4},{event_wall:.4},{speedup:.3},{},{},{},{}",
+            "{name},{},{},{sweep_wall:.4},{event_wall:.4},{compiled_wall:.4},\
+             {speedup:.3},{speedup_compiled:.3},{},{},{},{},{},{},{}",
             ev.cycles,
+            co.cycles,
             sw.sched.events,
             ev.sched.events,
+            co.sched.events,
             ev.sched.cycles_skipped,
-            ev.sched.peak_ready
+            ev.sched.peak_ready,
+            co.sched.fused_chains,
+            co.sched.fused_chain_nodes
         )
         .unwrap();
         points.push((name.to_string(), ev.cycles));
         rep.sched.push(SchedRow {
             workload: name.to_string(),
             cycles: ev.cycles,
+            cycles_compiled: co.cycles,
             sweep_wall_s: sweep_wall,
             event_wall_s: event_wall,
+            compiled_wall_s: compiled_wall,
             sweep_events: sw.sched.events,
             event_events: ev.sched.events,
+            compiled_events: co.sched.events,
             cycles_skipped: ev.sched.cycles_skipped,
             peak_ready: ev.sched.peak_ready,
+            fused_chains: co.sched.fused_chains,
+            fused_chain_nodes: co.sched.fused_chain_nodes,
         });
     }
     save("sched", &csv);

@@ -17,12 +17,14 @@ mod gcn;
 mod gpt;
 mod graphsage;
 mod sae;
+mod stack;
 
 pub use datasets::{graph_dataset, GraphDataset, GRAPH_DATASETS, SAE_DATASETS};
 pub use gcn::gcn;
 pub use gpt::{attention_reference, gpt_attention, gpt_attention_blocked, gpt_decoder};
 pub use graphsage::graphsage;
 pub use sae::sae;
+pub use stack::map_stack;
 
 /// The three fusion granularities of Section 8.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,241 @@
+//! The chain-fusion compile pass behind [`crate::Scheduler::Compiled`].
+//!
+//! Before a compiled shard run, the lowered graph is analysed once and
+//! partitioned into *units*: maximal chains of nodes that occupy
+//! **consecutive scheduling ranks** and are linked producer-to-consumer
+//! (every connected input of the later node is written by the earlier
+//! one), plus singleton units for every remaining node. The compiled
+//! execution loop (`Shard::run_compiled` in `engine.rs`) then schedules
+//! whole units instead of individual nodes:
+//!
+//! * channels *internal* to a unit lose their reader/writer wake
+//!   back-pointers — a push or pop on them no longer touches the
+//!   scheduler at all, because any member progress re-schedules the whole
+//!   unit and members are stepped in rank order within one activation;
+//! * channels crossing a unit boundary have their back-pointers rewritten
+//!   from node indices to unit indices, so wake routing needs no
+//!   indirection at runtime.
+//!
+//! Because a unit is a *contiguous* rank range, stepping its members in
+//! ascending rank inside an ascending-unit drain replays exactly the
+//! global ascending-rank order of the sweep (and the event engine), which
+//! is what makes the compiled backend bit-identical — see the equivalence
+//! argument on `Shard::run_compiled` and in ARCHITECTURE.md.
+//!
+//! The pass itself is pure and operates on plain index tables so it can be
+//! unit-tested without building runtime nodes.
+
+/// Sentinel mirroring `engine::NO_NODE`: a channel endpoint with no node
+/// attached.
+const NO_NODE: u32 = u32::MAX;
+
+/// Upper bound on unit size: the compiled loop tracks per-member
+/// readiness in a `u64` bitmask, so a chain longer than 64 ranks is split.
+pub(crate) const MAX_UNIT: usize = 64;
+
+/// One channel's endpoints, by shard-local node index ([`NO_NODE`] when
+/// unattached).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChanEnds {
+    /// Node that pushes the channel.
+    pub writer: u32,
+    /// Node that pops the channel.
+    pub reader: u32,
+}
+
+/// The output of the chain-fusion pass for one shard.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// Fused units as half-open **rank** ranges, in ascending rank order
+    /// (so the unit index order equals the rank order of the members).
+    pub units: Vec<std::ops::Range<u32>>,
+    /// Shard-local node index -> owning unit index.
+    pub unit_of_node: Vec<u32>,
+    /// Per channel: are both endpoints inside the same unit?
+    pub internal: Vec<bool>,
+    /// Units with at least two members.
+    pub fused_chains: u64,
+    /// Total members across multi-node units.
+    pub fused_chain_nodes: u64,
+}
+
+/// Partitions a shard's scheduling order into fused chain units.
+///
+/// `order[rank]` is the shard-local node at that rank; `ins[node]` /
+/// `outs[node]` list the channel ids connected to the node's input /
+/// output ports; `chans[c]` gives channel `c`'s endpoints.
+///
+/// Two consecutive ranks `a = order[i]`, `b = order[i+1]` are linked into
+/// one unit iff
+///
+/// 1. at least one of `a`'s output channels is read by `b`, and
+/// 2. *every* connected input channel of `b` is written by `a`.
+///
+/// Condition 2 guarantees all of `b`'s input activity originates inside
+/// the unit (so suppressing those channels' wakes is safe); condition 1
+/// keeps the fusion meaningful. `a` may fan out to nodes beyond the chain
+/// — those channels stay boundary channels and keep their wakes.
+pub(crate) fn plan_units(
+    order: &[usize],
+    ins: &[Vec<usize>],
+    outs: &[Vec<usize>],
+    chans: &[ChanEnds],
+) -> Plan {
+    let linked = |i: usize| -> bool {
+        let (a, b) = (order[i] as u32, order[i + 1] as u32);
+        outs[a as usize].iter().any(|&c| chans[c].reader == b)
+            && !ins[b as usize].is_empty()
+            && ins[b as usize].iter().all(|&c| chans[c].writer == a)
+    };
+
+    let mut units = Vec::new();
+    let mut unit_of_node = vec![0u32; ins.len()];
+    let (mut fused_chains, mut fused_chain_nodes) = (0u64, 0u64);
+    let mut start = 0usize;
+    while start < order.len() {
+        let mut end = start;
+        while end + 1 < order.len() && end - start + 1 < MAX_UNIT && linked(end) {
+            end += 1;
+        }
+        let unit = units.len() as u32;
+        for rank in start..=end {
+            unit_of_node[order[rank]] = unit;
+        }
+        let len = (end - start + 1) as u64;
+        if len > 1 {
+            fused_chains += 1;
+            fused_chain_nodes += len;
+        }
+        units.push(start as u32..(end + 1) as u32);
+        start = end + 1;
+    }
+
+    let internal = chans
+        .iter()
+        .map(|c| {
+            c.writer != NO_NODE
+                && c.reader != NO_NODE
+                && unit_of_node[c.writer as usize] == unit_of_node[c.reader as usize]
+        })
+        .collect();
+
+    Plan { units, unit_of_node, internal, fused_chains, fused_chain_nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the channel table from (writer, reader) pairs and derives
+    /// per-node ins/outs.
+    fn wire(n: usize, edges: &[(u32, u32)]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<ChanEnds>) {
+        let mut ins = vec![Vec::new(); n];
+        let mut outs = vec![Vec::new(); n];
+        let mut chans = Vec::new();
+        for &(w, r) in edges {
+            let c = chans.len();
+            chans.push(ChanEnds { writer: w, reader: r });
+            if w != NO_NODE {
+                outs[w as usize].push(c);
+            }
+            if r != NO_NODE {
+                ins[r as usize].push(c);
+            }
+        }
+        (ins, outs, chans)
+    }
+
+    #[test]
+    fn straight_pipeline_fuses_into_one_unit() {
+        // 0 -> 1 -> 2 -> 3, ranks in node order.
+        let order = vec![0, 1, 2, 3];
+        let (ins, outs, chans) = wire(4, &[(0, 1), (1, 2), (2, 3)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..4]);
+        assert_eq!(plan.unit_of_node, vec![0, 0, 0, 0]);
+        assert!(plan.internal.iter().all(|&i| i), "all channels are chain-internal");
+        assert_eq!(plan.fused_chains, 1);
+        assert_eq!(plan.fused_chain_nodes, 4);
+    }
+
+    #[test]
+    fn multi_writer_consumer_breaks_the_chain() {
+        // 0 -> 2 and 1 -> 2: node 2 reads from two producers, so the
+        // (1, 2) rank pair must not fuse even though it is linked.
+        let order = vec![0, 1, 2];
+        let (ins, outs, chans) = wire(3, &[(0, 2), (1, 2)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..1, 1..2, 2..3]);
+        assert!(plan.internal.iter().all(|&i| !i));
+        assert_eq!(plan.fused_chains, 0);
+    }
+
+    #[test]
+    fn non_consecutive_ranks_stay_separate() {
+        // 0 -> 2 is a clean single-reader/single-writer link, but node 1
+        // sits between them in the scheduling order, so fusing would
+        // reorder steps; the pass must refuse.
+        let order = vec![0, 1, 2];
+        let (ins, outs, chans) = wire(3, &[(0, 2)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..1, 1..2, 2..3]);
+        assert_eq!(plan.fused_chains, 0);
+    }
+
+    #[test]
+    fn fanout_to_outside_keeps_boundary_channel() {
+        // 0 -> 1 (chain) and 0 -> 2 (side fan-out). Ranks 0,1 fuse; the
+        // side channel must stay a wake-carrying boundary channel.
+        let order = vec![0, 1, 2];
+        let (ins, outs, chans) = wire(3, &[(0, 1), (0, 2)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..2, 2..3]);
+        assert_eq!(plan.unit_of_node, vec![0, 0, 1]);
+        assert_eq!(plan.internal, vec![true, false]);
+        assert_eq!(plan.fused_chains, 1);
+        assert_eq!(plan.fused_chain_nodes, 2);
+    }
+
+    #[test]
+    fn parallel_chains_fuse_independently() {
+        // Two disjoint pipelines interleaved in rank order as
+        // [0 -> 1] then [2 -> 3 -> 4].
+        let order = vec![0, 1, 2, 3, 4];
+        let (ins, outs, chans) = wire(5, &[(0, 1), (2, 3), (3, 4)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..2, 2..5]);
+        assert_eq!(plan.fused_chains, 2);
+        assert_eq!(plan.fused_chain_nodes, 5);
+    }
+
+    #[test]
+    fn chains_split_at_the_member_mask_width() {
+        // A 70-node straight pipeline must split into a 64-member unit and
+        // a 6-member unit (per-member readiness is a u64 bitmask).
+        let n = MAX_UNIT + 6;
+        let order: Vec<usize> = (0..n).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+        let (ins, outs, chans) = wire(n, &edges);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        assert_eq!(plan.units, vec![0..MAX_UNIT as u32, MAX_UNIT as u32..n as u32]);
+        assert_eq!(plan.fused_chains, 2);
+        assert_eq!(plan.fused_chain_nodes, n as u64);
+        // The channel crossing the split is a boundary channel.
+        let split_chan = MAX_UNIT - 1; // edge (63, 64)
+        assert!(!plan.internal[split_chan]);
+        assert!(plan.internal[split_chan - 1] && plan.internal[split_chan + 1]);
+    }
+
+    #[test]
+    fn harness_channels_never_fuse_or_internalize() {
+        // A pre-seeded channel (writer = NO_NODE) feeding node 0 and a
+        // capture channel (reader = NO_NODE) leaving node 1.
+        let order = vec![0, 1];
+        let (ins, outs, chans) = wire(2, &[(NO_NODE, 0), (0, 1), (1, NO_NODE)]);
+        let plan = plan_units(&order, &ins, &outs, &chans);
+        // 0 has an input not written by anything fusable upstream, but the
+        // (0, 1) pair itself is still a valid chain.
+        assert_eq!(plan.units, vec![0..2]);
+        assert_eq!(plan.internal, vec![false, true, false]);
+    }
+}

@@ -37,6 +37,7 @@
 //! shard order, the global cycle count is the max over shard clocks, and
 //! errors are reported for the lowest-indexed failing shard).
 
+use crate::compile::{plan_units, ChanEnds};
 use crate::dram::{AccessKind, Dram};
 use crate::pool::parallel_map;
 use crate::rebuild::assemble_output;
@@ -49,10 +50,13 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Which shard execution loop [`simulate`] runs.
 ///
-/// Both schedulers are **bit-identical** on every graph: the event-driven
-/// engine performs exactly the effective (state-changing) steps of the
-/// sweep, in the same relative order, at the same simulated cycle — it only
-/// skips steps that are provably no-ops. The sweep is retained as the
+/// All three schedulers are **bit-identical** on every graph: the
+/// event-driven engine performs exactly the effective (state-changing)
+/// steps of the sweep, in the same relative order, at the same simulated
+/// cycle — it only skips steps that are provably no-ops — and the compiled
+/// engine additionally fuses chains of adjacent nodes into units whose
+/// extra member steps are no-ops too (see `compile.rs` and
+/// [`Shard::run_compiled`]). The sweep is retained as the
 /// differential-testing oracle (`crates/sim/tests/determinism.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
@@ -62,6 +66,11 @@ pub enum Scheduler {
     Event,
     /// Legacy dense per-cycle sweep: every node steps every cycle.
     Sweep,
+    /// Ahead-of-time compiled: producer-consumer chains are fused into
+    /// units scheduled as a whole, chain-internal channels bypass the
+    /// wake machinery entirely, and each node steps through a flat
+    /// per-rank step-function table instead of generic dispatch.
+    Compiled,
 }
 
 /// Simulation parameters.
@@ -201,6 +210,11 @@ pub struct SimResult {
 /// Sentinel for a channel endpoint with no node attached (test harness
 /// channels that are pre-seeded or captured externally).
 const NO_NODE: u32 = u32::MAX;
+
+/// Bit position splitting a compiled-backend wake target: unit index in
+/// the low bits, member index (< `compile::MAX_UNIT` = 64) above. Encoded
+/// targets stay below `1 << 30`, so they never collide with [`NO_NODE`].
+const MEMBER_SHIFT: u32 = 24;
 
 #[derive(Debug)]
 struct Chan {
@@ -354,6 +368,37 @@ enum StepOutcome {
     Finished,
 }
 
+/// One entry of the compiled backend's flat per-rank step program.
+type StepFn = for<'a, 'b, 'c> fn(&'a mut Rt, &'b mut Ctx<'c>) -> Result<StepOutcome, SimError>;
+
+/// Lowers a node to its step function, specializing on two statically
+/// known properties:
+///
+/// * kinds that never touch `pending_mem` skip the memory-retire phase
+///   and its outcome classification (`step_light*`);
+/// * nodes whose output ports all have fan-out <= 1 use a flush that
+///   moves tokens instead of cloning them and touches each channel once
+///   (`*_fo1`).
+///
+/// Every variant is behaviourally identical to the generic [`Rt::step`]
+/// for the nodes it is selected for.
+fn step_fn(node: &Rt) -> StepFn {
+    let mem = matches!(
+        node.kind,
+        NodeKind::LevelScanner { .. }
+            | NodeKind::Array { .. }
+            | NodeKind::CrdWriter { .. }
+            | NodeKind::ValWriter { .. }
+    );
+    let fo1 = node.out_chans.iter().all(|cs| cs.len() <= 1);
+    match (mem, fo1) {
+        (true, true) => Rt::step_mem_fo1,
+        (true, false) => Rt::step,
+        (false, true) => Rt::step_light_fo1,
+        (false, false) => Rt::step_light,
+    }
+}
+
 impl Rt {
     fn finished(&self) -> bool {
         self.done && self.out_q.iter().all(|q| q.is_empty()) && self.pending_mem.is_empty()
@@ -413,11 +458,12 @@ impl Rt {
 
     // -- the per-cycle step ------------------------------------------------
 
-    fn step(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
+    /// Phase 1: flush one queued token per output port. Returns
+    /// `(progress, flush_blocked)`.
+    #[inline]
+    fn flush_phase(&mut self, ctx: &mut Ctx) -> (bool, bool) {
         let mut progress = false;
         let mut flush_blocked = false;
-
-        // Phase 1: flush one queued token per output port.
         for port in 0..self.out_q.len() {
             if self.out_q[port].is_empty() {
                 continue;
@@ -440,7 +486,80 @@ impl Rt {
                 flush_blocked = true;
             }
         }
+        (progress, flush_blocked)
+    }
 
+    /// [`Rt::flush_phase`] specialized for nodes whose ports all have
+    /// fan-out <= 1 (selected by [`step_fn`]): each channel is looked up
+    /// once and the token is moved, not cloned. Discarding unconnected
+    /// ports matches the generic path.
+    #[inline]
+    fn flush_phase_fo1(&mut self, ctx: &mut Ctx) -> (bool, bool) {
+        let mut progress = false;
+        let mut flush_blocked = false;
+        for port in 0..self.out_q.len() {
+            if self.out_q[port].is_empty() {
+                continue;
+            }
+            match self.out_chans[port].first() {
+                None => self.out_q[port].clear(),
+                Some(&c) => {
+                    let ch = &mut ctx.chans[c];
+                    if ch.buf.len() < ch.cap {
+                        let tok = self.out_q[port].pop_front().expect("nonempty");
+                        if tok.is_elem() {
+                            self.elems += 1;
+                        }
+                        let reader = ch.reader;
+                        ch.buf.push_back(tok);
+                        if reader != NO_NODE {
+                            ctx.wakes.push(reader);
+                        }
+                        progress = true;
+                    } else {
+                        flush_blocked = true;
+                    }
+                }
+            }
+        }
+        (progress, flush_blocked)
+    }
+
+    /// Phase 3: one action, if not busy and output queues drained.
+    #[inline]
+    fn act_phase(&mut self, ctx: &mut Ctx) -> Result<bool, SimError> {
+        if self.done || ctx.now < self.busy_until || self.out_q.iter().any(|q| !q.is_empty()) {
+            return Ok(false);
+        }
+        let acted = self.action(ctx)?;
+        if acted {
+            let ii = self.ii_extra;
+            if ii > 0 {
+                self.busy_until = ctx.now + 1 + ii;
+            }
+        }
+        Ok(acted)
+    }
+
+    fn step(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
+        // Phase 1: flush one queued token per output port.
+        let flush = self.flush_phase(ctx);
+        self.step_mem_body(ctx, flush)
+    }
+
+    /// [`Rt::step`] with the fan-out-1 flush (see [`step_fn`]).
+    fn step_mem_fo1(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
+        let flush = self.flush_phase_fo1(ctx);
+        self.step_mem_body(ctx, flush)
+    }
+
+    /// Phases 2-4 of the full step: retire memory, act, classify.
+    #[inline(always)]
+    fn step_mem_body(
+        &mut self,
+        ctx: &mut Ctx,
+        (mut progress, flush_blocked): (bool, bool),
+    ) -> Result<StepOutcome, SimError> {
         // Phase 2: retire completed memory requests into the output queues
         // (or drop them, for writers).
         while let Some((_, ready, _)) = self.pending_mem.front() {
@@ -457,16 +576,7 @@ impl Rt {
         }
 
         // Phase 3: one action, if not busy and output queues drained.
-        if !(self.done || ctx.now < self.busy_until || self.out_q.iter().any(|q| !q.is_empty())) {
-            let acted = self.action(ctx)?;
-            if acted {
-                let ii = self.ii_extra;
-                if ii > 0 {
-                    self.busy_until = ctx.now + 1 + ii;
-                }
-            }
-            progress |= acted;
-        }
+        progress |= self.act_phase(ctx)?;
 
         // Classify. A no-progress step never mutates node or channel state
         // (actions commit only after every precondition peek succeeds), so
@@ -482,6 +592,45 @@ impl Rt {
         // so `next_wake` is exact here.
         if let Some(t) = self.next_wake(ctx.now) {
             return Ok(StepOutcome::SleepingUntil(t));
+        }
+        Ok(if flush_blocked { StepOutcome::BlockedOutput } else { StepOutcome::BlockedInput })
+    }
+
+    /// [`Rt::step`] specialized for node kinds that never touch
+    /// `pending_mem` (everything except scanners, arrays and writers):
+    /// phase 2 is skipped and the outcome classification collapses to the
+    /// `busy_until` check. Behaviourally identical to `step` for those
+    /// kinds — `pending_mem` is empty for their whole lifetime, so phase 2
+    /// is a no-op and `finished()` / `next_wake()` reduce to the forms
+    /// below.
+    fn step_light(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
+        let flush = self.flush_phase(ctx);
+        self.step_light_body(ctx, flush)
+    }
+
+    /// [`Rt::step_light`] with the fan-out-1 flush (see [`step_fn`]).
+    fn step_light_fo1(&mut self, ctx: &mut Ctx) -> Result<StepOutcome, SimError> {
+        let flush = self.flush_phase_fo1(ctx);
+        self.step_light_body(ctx, flush)
+    }
+
+    /// Act-and-classify tail shared by the `step_light*` variants.
+    #[inline(always)]
+    fn step_light_body(
+        &mut self,
+        ctx: &mut Ctx,
+        (mut progress, flush_blocked): (bool, bool),
+    ) -> Result<StepOutcome, SimError> {
+        debug_assert!(self.pending_mem.is_empty());
+        progress |= self.act_phase(ctx)?;
+        if progress {
+            return Ok(StepOutcome::Progressed);
+        }
+        if self.done && self.out_q.iter().all(|q| q.is_empty()) {
+            return Ok(StepOutcome::Finished);
+        }
+        if self.busy_until > ctx.now {
+            return Ok(StepOutcome::SleepingUntil(self.busy_until));
         }
         Ok(if flush_blocked { StepOutcome::BlockedOutput } else { StepOutcome::BlockedInput })
     }
@@ -1388,6 +1537,224 @@ fn alu_unary(ctx: &mut Ctx, op: AluOp, a: Payload) -> Payload {
 }
 
 // ---------------------------------------------------------------------------
+// Direct-push ALU segments (compiled backend)
+// ---------------------------------------------------------------------------
+
+/// One member of a direct-push segment: a unary, zero-latency ALU with a
+/// single connected input (port 0) and a fan-out-1 output.
+struct SegMember {
+    /// Shard-local node index.
+    node: usize,
+    /// The single connected input channel.
+    in_chan: usize,
+    /// The single output channel.
+    out_chan: usize,
+    op: AluOp,
+}
+
+/// A maximal run (>= 2 members) of direct-push-eligible consecutive chain
+/// members, executed by [`run_alu_segment`] as one monomorphized program.
+struct Segment {
+    /// Member index (rank - unit base) of the first member.
+    s: usize,
+    /// The members' bits in the owning unit's readiness mask.
+    bits: u64,
+    /// In ascending rank order; executed in descending order.
+    members: Vec<SegMember>,
+    /// Same-cycle arm for the tail's flush when its output channel is
+    /// chain-internal: the reader's member bit (it is always the member
+    /// right after the run). Zero when the output is a boundary channel.
+    tail_succ_bit: u64,
+}
+
+/// Executes one activation of a direct-push segment. Returns the number of
+/// member steps taken (for the non-semantic `events` counter).
+///
+/// **Semantics.** Every member except the tail runs in a *merged*
+/// representation: the one-slot `out_q` of the two-phase step is folded
+/// into its output channel, so an action pushes straight into the channel
+/// and the flush phase disappears. The merged channel holds up to
+/// `cap + 1` tokens (channel plus the folded queue slot). Members run in
+/// *descending* rank order so a consumer observes only start-of-cycle
+/// state — tokens its producer pushes this cycle land after the consumer
+/// ran, exactly like the generic path where an acted token becomes
+/// visible only after next cycle's flush.
+///
+/// **Equivalence with the two-phase engine**, per interior channel with
+/// capacity `C` (merged in-flight `I` = channel length here, = channel
+/// length + out_q length there):
+///
+/// * *Act gate.* The generic member acts iff its out_q is empty after the
+///   flush phase, i.e. iff `I_start <= C` (out_q empty: `I = P <= C`
+///   trivially; out_q full: flush succeeds iff `P < C` iff `I = P + 1 <=
+///   C`). The merged gate tests `len + popped_downstream <= C`, where
+///   `popped_downstream` reconstructs the start-of-cycle length after the
+///   consumer (processed earlier, descending) popped.
+/// * *Arrival.* A generic act at `t` lands in the channel at `t + 1`
+///   (flush) and the reader — one rank above — is woken at `t + 1`. The
+///   merged push happens at `t` and arms the consumer's bit for `t + 1`:
+///   same first-visible cycle. Head availability also matches: the
+///   consumer's head exists iff `P_t + flushed_t >= 1` iff `I_t >= 1`
+///   (the only extra merged token is the folded out_q slot at the tail of
+///   the queue, never the head).
+/// * *Input pops.* A member's act fires at the same cycles as the generic
+///   path (same gate, same head availability), so its *input* channel
+///   sees pops at identical cycles — upstream backpressure timing is
+///   unchanged. The first member's input is not segment-internal, so its
+///   pops keep the exact pop-from-full writer wake; interior pops instead
+///   set a `downstream_popped` flag that re-arms a blocked producer
+///   (subsuming the generic pop-from-full wake).
+/// * *Arming parity.* A generic push progresses twice — act at `t`, flush
+///   at `t + 1` — so the member is armed at `t + 1` and `t + 2` even if
+///   no further act happens. The merged path arms `t + 1` directly and
+///   records a `lag` bit whose next no-act visit re-arms once more
+///   ("phantom flush"), keeping the set of cycles with a nonempty ready
+///   set — and hence the deadlock / `MaxCycles` cycle — identical.
+/// * *Stats.* `elems` is counted at channel entry in both models (flush
+///   there, push here); FLOPs come from the same `alu_unary` calls at the
+///   same cycles. Totals agree whenever the stream drains (a chain member
+///   retains queued tokens only if its consumer stops consuming, in which
+///   case the run does not terminate normally anyway).
+///
+/// The tail keeps the generic out_q + flush semantics because its
+/// consumer is a generic step (processed later in ascending order) and
+/// must not observe same-cycle pushes; its flush raises the usual wake
+/// (boundary) or same-cycle successor arm (internal).
+fn run_alu_segment(
+    seg: &Segment,
+    armed: u64,
+    nodes: &mut [Rt],
+    ctx: &mut Ctx,
+    pending: &mut u64,
+    next_mask: &mut u64,
+    lag: &mut u64,
+) -> u64 {
+    let mlen = seg.members.len();
+    // Only armed members are visited (an unarmed member has no fired wake
+    // condition, where a step is a pure no-op — the event engine's own
+    // invariant). Descending bit order; the `last_*` pair reconstructs
+    // the adjacent consumer's same-cycle pop for the producer's gate.
+    let mut a = armed;
+    let mut last_mb = usize::MAX;
+    let mut last_popped = false;
+    while a != 0 {
+        let mb = 63 - a.leading_zeros() as usize;
+        a &= !(1u64 << mb);
+        let i = mb - seg.s;
+        let sm = &seg.members[i];
+        let downstream_popped = last_popped && last_mb == mb + 1;
+        let mbit = 1u64 << mb;
+        let node = &mut nodes[sm.node];
+        let mut popped_in = false;
+        if i + 1 == mlen {
+            // Tail: unchanged two-phase semantics.
+            let mut progressed = false;
+            if !node.out_q[0].is_empty() {
+                let ch = &mut ctx.chans[sm.out_chan];
+                if ch.buf.len() < ch.cap {
+                    let tok = node.out_q[0].pop_front().expect("nonempty");
+                    if tok.is_elem() {
+                        node.elems += 1;
+                    }
+                    let reader = ch.reader;
+                    ch.buf.push_back(tok);
+                    if reader != NO_NODE {
+                        ctx.wakes.push(reader);
+                    } else {
+                        *pending |= seg.tail_succ_bit;
+                    }
+                    progressed = true;
+                }
+            }
+            if node.out_q[0].is_empty() && !node.done {
+                if let Some(tok) = ctx.chans[sm.in_chan].buf.pop_front() {
+                    popped_in = true;
+                    let out = match tok {
+                        Token::Elem(p) => Token::Elem(alu_unary(ctx, sm.op, p)),
+                        Token::Stop(k) => Token::Stop(k),
+                        Token::Done => {
+                            node.done = true;
+                            Token::Done
+                        }
+                    };
+                    node.out_q[0].push_back(out);
+                    progressed = true;
+                }
+            }
+            if progressed {
+                *next_mask |= mbit;
+            }
+        } else {
+            // Interior (or first) member: merged direct push.
+            let mut acted = false;
+            if !node.done {
+                let out_ok = {
+                    let ch = &ctx.chans[sm.out_chan];
+                    ch.buf.len() + downstream_popped as usize <= ch.cap
+                };
+                if out_ok {
+                    let (tok, wake) = {
+                        let ch = &mut ctx.chans[sm.in_chan];
+                        if i == 0 {
+                            // External input: exact pop-from-full wake.
+                            let was_full = ch.buf.len() >= ch.cap;
+                            let tok = ch.buf.pop_front();
+                            let wake = tok.is_some() && was_full && ch.writer != NO_NODE;
+                            let writer = ch.writer;
+                            (tok, wake.then_some(writer))
+                        } else {
+                            (ch.buf.pop_front(), None)
+                        }
+                    };
+                    if let Some(w) = wake {
+                        ctx.wakes.push(w);
+                    }
+                    if let Some(tok) = tok {
+                        popped_in = true;
+                        let out = match tok {
+                            Token::Elem(p) => Token::Elem(alu_unary(ctx, sm.op, p)),
+                            Token::Stop(k) => Token::Stop(k),
+                            Token::Done => {
+                                node.done = true;
+                                Token::Done
+                            }
+                        };
+                        // The direct push *is* the channel entry; the
+                        // generic path counts elems at flush time.
+                        if out.is_elem() {
+                            node.elems += 1;
+                        }
+                        ctx.chans[sm.out_chan].buf.push_back(out);
+                        acted = true;
+                    }
+                }
+            }
+            if acted {
+                // Self re-arm, plus the consumer's arm for next cycle
+                // (when the generic flush would land this token).
+                *next_mask |= mbit | (mbit << 1);
+                *lag |= mbit;
+            } else if *lag & mbit != 0 {
+                // Phantom flush: last cycle's push flushes this cycle in
+                // the two-phase model, which progresses and re-arms once.
+                *lag &= !mbit;
+                *next_mask |= mbit;
+            }
+        }
+        // A pop frees producer space: arm the producer for next cycle (a
+        // superset of the generic pop-from-full writer wake; the producer
+        // no-ops if it was not actually flush-blocked). The first
+        // member's producer is external and woken via `ctx.wakes` above.
+        if popped_in && i > 0 {
+            *next_mask |= mbit >> 1;
+        }
+        last_mb = mb;
+        last_popped = popped_in;
+    }
+    armed.count_ones() as u64
+}
+
+// ---------------------------------------------------------------------------
 // Shards
 // ---------------------------------------------------------------------------
 
@@ -1438,6 +1805,7 @@ impl Shard {
         match shared.cfg.scheduler {
             Scheduler::Event => self.run_event(shared),
             Scheduler::Sweep => self.run_sweep(shared),
+            Scheduler::Compiled => self.run_compiled(shared),
         }
     }
 
@@ -1552,6 +1920,392 @@ impl Shard {
                 break 'run Err(SimError::MaxCycles(ctx.cfg.max_cycles));
             }
             std::mem::swap(&mut cur, &mut next);
+            wakes.drain_at(ctx.now, &mut cur);
+        };
+        self.now = ctx.now;
+        self.flops += ctx.flops;
+        self.order = order;
+        self.sched.merge(&counters);
+        res
+    }
+
+    /// The compiled execution loop: chain fusion + flat step programs on
+    /// top of the event scheduler's ready set and calendar queue.
+    ///
+    /// A one-shot compile pass ([`crate::compile::plan_units`]) groups
+    /// maximal producer-consumer chains occupying *consecutive scheduling
+    /// ranks* into units; the loop below is [`Shard::run_event`] at unit
+    /// granularity. Each rank is lowered to an entry in a flat
+    /// step-function table ([`step_fn`]) — `step_light` for kinds that
+    /// never use `pending_mem`, the full `step` otherwise — and channel
+    /// back-pointers are rewritten once: chain-internal channels become
+    /// wake-free, boundary channels point at unit indices.
+    ///
+    /// Within a unit, per-member readiness is a `u64` bitmask (member =
+    /// rank − unit start; units are capped at 64 ranks by the planner), so
+    /// an activation only steps members with a fired wake condition.
+    /// Boundary channel back-pointers encode `(unit, member)` in one `u32`
+    /// ([`MEMBER_SHIFT`]); internal channels drop their *reader*
+    /// back-pointer — push wakes, the overwhelming share of wake traffic,
+    /// are reconstructed from member outcomes instead: a member that
+    /// progresses arms its chain successor in the *same* activation (all
+    /// pushes happen inside a `Progressed` step) and itself for the next
+    /// cycle. The *writer* back-pointer stays (encoded), because pop wakes
+    /// only fire on a pop from a *full* channel — rare enough to record
+    /// exactly. Member timers live in a per-rank `member_wake` table; the
+    /// unit registers the min with the calendar queue.
+    ///
+    /// **Bit-identity with the event engine** (and hence the sweep):
+    ///
+    /// * *Order.* Units are contiguous ascending rank ranges and the drain
+    ///   visits units in ascending index, stepping members in ascending
+    ///   rank, so all steps happen in global ascending-rank order — the
+    ///   sweep's order exactly.
+    /// * *Coverage.* Every wake the event engine would deliver arms the
+    ///   owning member's mask bit. Boundary channels and internal pops
+    ///   carry explicit `(unit, member)` targets through `ctx.wakes`,
+    ///   drained after every member step. An internal channel connects
+    ///   *adjacent* members only (the chain predicate forbids intra-unit
+    ///   skip edges), and every push happens inside a step that reports
+    ///   `Progressed` (actions fill `out_q`; only `flush_phase` pushes,
+    ///   and a push sets `progress`), so the successor-arming rule
+    ///   strictly over-approximates internal push wakes. Same-cycle vs
+    ///   next-cycle routing mirrors the event engine's rank comparison:
+    ///   member index within this unit, unit index across units (units
+    ///   are contiguous rank ranges, so the comparisons agree).
+    ///   `member_wake` is set exactly when the event engine would arm a
+    ///   node timer, deduped to the earliest (like `WakeQueue::timer_at`),
+    ///   and consumed when due, so the calendar queues hold equivalent
+    ///   earliest wakes and the clock trajectory (and the deadlock /
+    ///   `MaxCycles` cycle) coincides.
+    /// * *No extra effects.* A unit activation may step members the event
+    ///   engine would have skipped (the over-approximation above); each
+    ///   such step is in a state with no wake condition fired, where
+    ///   `Rt::step` is a pure no-op (the sweep-equivalence invariant). So
+    ///   effective steps, channel traffic, termination, and failure cycles
+    ///   all coincide; only the non-semantic [`SchedCounters`] differ.
+    ///
+    /// Interior channels still buffer tokens (they are pipeline registers:
+    /// action-to-flush latency and backpressure are part of the timing
+    /// model), so "eliminating" them means eliminating their scheduler
+    /// cost, not their cycle-level semantics; see ARCHITECTURE.md.
+    ///
+    /// On top of the unit machinery, maximal runs of unary zero-latency
+    /// ALU members inside a chain are further lowered to **direct-push
+    /// segments** ([`Segment`], detected below): their two-phase step is
+    /// replaced by a merged single-push program, executed bit-identically
+    /// by [`run_alu_segment`] (equivalence argument on that function).
+    fn run_compiled(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
+        // ---- compile pass: fuse chains, lower steps, rewrite wakes ----
+        let ins: Vec<Vec<usize>> =
+            self.nodes.iter().map(|n| n.in_chans.iter().flatten().copied().collect()).collect();
+        let outs: Vec<Vec<usize>> =
+            self.nodes.iter().map(|n| n.out_chans.iter().flatten().copied().collect()).collect();
+        let ends: Vec<ChanEnds> =
+            self.chans.iter().map(|c| ChanEnds { writer: c.writer, reader: c.reader }).collect();
+        let plan = plan_units(&self.order, &ins, &outs, &ends);
+        let n = self.order.len();
+        let mut rank_of = vec![0u32; n];
+        for (rank, &node) in self.order.iter().enumerate() {
+            rank_of[node] = rank as u32;
+        }
+        assert!(plan.units.len() < (1 << MEMBER_SHIFT) as usize, "unit index overflow");
+        // Encodes a node as a boundary wake target: unit index in the low
+        // bits, member index (rank - unit start) above MEMBER_SHIFT.
+        let encode = |node: u32| -> u32 {
+            let unit = plan.unit_of_node[node as usize];
+            let member = rank_of[node as usize] - plan.units[unit as usize].start;
+            unit | (member << MEMBER_SHIFT)
+        };
+        for (c, ch) in self.chans.iter_mut().enumerate() {
+            if plan.internal[c] {
+                // Chain-internal: push wakes (one per token) are covered by
+                // the successor-arming rule, so the reader back-pointer is
+                // dropped and pushes bypass the scheduler entirely. Pop
+                // wakes only fire on a pop *from a full channel* — rare
+                // enough that recording them stays cheap, and keeping them
+                // exact avoids re-stepping the producer every cycle.
+                ch.reader = NO_NODE;
+                ch.writer = encode(ch.writer);
+            } else {
+                // Boundary: route wakes straight to the owning member.
+                if ch.reader != NO_NODE {
+                    ch.reader = encode(ch.reader);
+                }
+                if ch.writer != NO_NODE {
+                    ch.writer = encode(ch.writer);
+                }
+            }
+        }
+        let steps: Vec<StepFn> =
+            self.order.iter().map(|&node| step_fn(&self.nodes[node])).collect();
+
+        // ---- direct-push ALU segments ---------------------------------
+        // Within each unit, find maximal runs (>= 2) of consecutive chain
+        // members that are unary zero-latency ALUs with one input and a
+        // fan-out-1 output read by the next run member. Each run executes
+        // as one monomorphized block per activation (`run_alu_segment`):
+        // the interior out_q hop is folded into the channel, so a token
+        // costs one pop + one push instead of a full dispatched two-phase
+        // step. See the equivalence note on `run_alu_segment`.
+        let eligible = |rank: usize| -> Option<SegMember> {
+            let node = self.order[rank];
+            let nd = &self.nodes[node];
+            let NodeKind::Alu { op } = nd.kind else { return None };
+            if op.arity() != 1 || nd.ii_extra != 0 {
+                return None;
+            }
+            if nd.out_chans.len() != 1 || nd.out_chans[0].len() != 1 {
+                return None;
+            }
+            let mut ins = nd.in_chans.iter().enumerate().filter_map(|(p, c)| c.map(|c| (p, c)));
+            match (ins.next(), ins.next()) {
+                (Some((0, in_chan)), None) => {
+                    Some(SegMember { node, in_chan, out_chan: nd.out_chans[0][0], op })
+                }
+                _ => None,
+            }
+        };
+        let mut seg_at = vec![u32::MAX; n];
+        let mut segs: Vec<Segment> = Vec::new();
+        for ur in &plan.units {
+            let (us, ue) = (ur.start as usize, ur.end as usize);
+            let mut r = us;
+            while r < ue {
+                let Some(first) = eligible(r) else {
+                    r += 1;
+                    continue;
+                };
+                let mut members = vec![first];
+                while r + members.len() < ue {
+                    let prev = members.last().expect("nonempty");
+                    // Extend only over channels internal to the chain and
+                    // wired to the next rank's node (within a unit, every
+                    // internal channel connects adjacent members).
+                    if !plan.internal[prev.out_chan] {
+                        break;
+                    }
+                    let Some(nxt) = eligible(r + members.len()) else { break };
+                    if ends[prev.out_chan].reader != nxt.node as u32 {
+                        break;
+                    }
+                    members.push(nxt);
+                }
+                let took = members.len();
+                if took >= 2 {
+                    let s = r - us;
+                    let tail_succ_bit = if plan.internal[members[took - 1].out_chan] {
+                        1u64 << (s + took)
+                    } else {
+                        0
+                    };
+                    let bits = if took == 64 { !0u64 } else { ((1u64 << took) - 1) << s };
+                    seg_at[r..r + took].fill(segs.len() as u32);
+                    segs.push(Segment { s, bits, members, tail_succ_bit });
+                }
+                r += took;
+            }
+        }
+        // Per-segment pending "phantom flush" bits (see `run_alu_segment`).
+        let mut seg_lag = vec![0u64; segs.len()];
+
+        let is_writer: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|n| matches!(n.kind, NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. }))
+            .collect();
+        let mut writer_live: Vec<bool> =
+            self.nodes.iter().zip(&is_writer).map(|(n, &w)| w && !n.finished()).collect();
+        let mut live_writers = writer_live.iter().filter(|&&w| w).count();
+
+        let nu = plan.units.len();
+        let mut cur = ReadySet::new(nu);
+        let mut next = ReadySet::new(nu);
+        // Per-unit member readiness for the current / next cycle, and the
+        // per-rank earliest pending timer (`u64::MAX` = none), mirroring
+        // the event engine's `WakeQueue::timer_at` dedup at member level.
+        let mut mask_cur = vec![0u64; nu];
+        let mut mask_next = vec![0u64; nu];
+        let mut member_wake = vec![u64::MAX; n];
+        // Invariant: `unit_wake[u]` == min of `member_wake` over u's
+        // members, so the common no-timer activation skips both member
+        // timer scans with one comparison.
+        let mut unit_wake = vec![u64::MAX; nu];
+        let full_mask = |unit: usize| -> u64 {
+            let r = &plan.units[unit];
+            let len = (r.end - r.start) as u64;
+            if len >= 64 {
+                !0
+            } else {
+                (1 << len) - 1
+            }
+        };
+        for (unit, m) in mask_cur.iter_mut().enumerate() {
+            cur.insert(unit);
+            *m = full_mask(unit);
+        }
+        let mut wakes = WakeQueue::new(nu);
+        let mut counters = SchedCounters {
+            fused_chains: plan.fused_chains,
+            fused_chain_nodes: plan.fused_chain_nodes,
+            ..SchedCounters::default()
+        };
+
+        let order = std::mem::take(&mut self.order);
+        let nodes = &mut self.nodes;
+        let mut ctx = make_ctx(&mut self.chans, &mut self.dram, shared, self.now);
+        let res = 'run: loop {
+            // Drain this cycle's ready units in ascending index; member
+            // steps run in ascending rank (= global sweep order).
+            let mut stepped = 0u64;
+            let mut pos = 0;
+            while let Some(unit) = cur.pop_ge(pos) {
+                pos = unit;
+                let range = plan.units[unit].clone();
+                let base = range.start as usize;
+                let len = (range.end - range.start) as usize;
+                let mut mask = std::mem::take(&mut mask_cur[unit]);
+                // Arm members whose timer is due at this activation; the
+                // `unit_wake` min makes the scan one comparison unless a
+                // timer actually fired.
+                let mut timers_dirty = false;
+                if unit_wake[unit] <= ctx.now {
+                    for m in 0..len {
+                        if member_wake[base + m] <= ctx.now {
+                            member_wake[base + m] = u64::MAX;
+                            mask |= 1 << m;
+                        }
+                    }
+                    timers_dirty = true;
+                }
+                let mut next_mask = 0u64;
+                // Drain set bits in ascending member order (= rank order).
+                let mut pending = mask;
+                while pending != 0 {
+                    let m = pending.trailing_zeros() as usize;
+                    let bit = pending & pending.wrapping_neg();
+                    let rank = base + m;
+                    let si = seg_at[rank];
+                    if si != u32::MAX {
+                        // Direct-push segment: run all members as one
+                        // monomorphized block (idle members no-op cheaply).
+                        let seg = &segs[si as usize];
+                        let armed = pending & seg.bits;
+                        pending &= !seg.bits;
+                        stepped += run_alu_segment(
+                            seg,
+                            armed,
+                            nodes,
+                            &mut ctx,
+                            &mut pending,
+                            &mut next_mask,
+                            &mut seg_lag[si as usize],
+                        );
+                        // Wakes the segment raised (first-member pops,
+                        // tail boundary flushes) target lower same-unit
+                        // members or other units; the shared drain below
+                        // routes them correctly against `bit`.
+                    } else {
+                        pending &= pending - 1;
+                        let node = order[rank];
+                        let outcome = match steps[rank](&mut nodes[node], &mut ctx) {
+                            Ok(o) => o,
+                            Err(e) => break 'run Err(e),
+                        };
+                        stepped += 1;
+                        match outcome {
+                            StepOutcome::Progressed => {
+                                // Step again next cycle; a push may have
+                                // woken the successor (same cycle: higher
+                                // rank). Pop wakes arrive through
+                                // `ctx.wakes` below.
+                                next_mask |= bit;
+                                if m + 1 < len {
+                                    pending |= bit << 1;
+                                }
+                            }
+                            StepOutcome::SleepingUntil(t) => {
+                                let w = &mut member_wake[rank];
+                                *w = (*w).min(t);
+                                timers_dirty = true;
+                            }
+                            StepOutcome::BlockedInput
+                            | StepOutcome::BlockedOutput
+                            | StepOutcome::Finished => {}
+                        }
+                        if writer_live[node] && nodes[node].finished() {
+                            writer_live[node] = false;
+                            live_writers -= 1;
+                        }
+                    }
+                    // Route the wakes this step raised (boundary pushes and
+                    // pops, internal pops-from-full); targets carry encoded
+                    // (unit, member). The event engine's rank comparison
+                    // becomes a member comparison in this unit and a unit
+                    // comparison elsewhere (units are contiguous).
+                    if !ctx.wakes.is_empty() {
+                        for k in 0..ctx.wakes.len() {
+                            let w = ctx.wakes[k];
+                            let u = (w & ((1 << MEMBER_SHIFT) - 1)) as usize;
+                            let wbit = 1u64 << (w >> MEMBER_SHIFT);
+                            if u == unit {
+                                if wbit > bit {
+                                    pending |= wbit;
+                                } else {
+                                    next_mask |= wbit;
+                                }
+                            } else if u > unit {
+                                cur.insert(u);
+                                mask_cur[u] |= wbit;
+                            } else {
+                                next.insert(u);
+                                mask_next[u] |= wbit;
+                            }
+                        }
+                        ctx.wakes.clear();
+                    }
+                }
+                if next_mask != 0 {
+                    next.insert(unit);
+                    mask_next[unit] |= next_mask;
+                }
+                // The unit's calendar timer is the min pending member
+                // timer; recompute only when timers were consumed or armed
+                // this activation (the queue's per-unit dedup keeps the
+                // earliest, so an unchanged future timer stays queued).
+                if timers_dirty {
+                    let sleep =
+                        member_wake[base..base + len].iter().copied().min().unwrap_or(u64::MAX);
+                    unit_wake[unit] = sleep;
+                    if sleep != u64::MAX {
+                        wakes.schedule(ctx.now, sleep, unit as u32);
+                    }
+                }
+            }
+            counters.events += stepped;
+            counters.peak_ready = counters.peak_ready.max(stepped);
+            if live_writers == 0 {
+                ctx.now += 1;
+                break 'run Ok(());
+            }
+            let t_next = if !next.is_empty() {
+                ctx.now + 1
+            } else {
+                match wakes.next_time(ctx.now) {
+                    Some(t) => t,
+                    None => {
+                        let detail = deadlock_detail(nodes, ctx.chans);
+                        break 'run Err(SimError::Deadlock { cycle: ctx.now, detail });
+                    }
+                }
+            };
+            counters.cycles_skipped += t_next - ctx.now - 1;
+            ctx.now = t_next;
+            if ctx.now > ctx.cfg.max_cycles {
+                break 'run Err(SimError::MaxCycles(ctx.cfg.max_cycles));
+            }
+            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut mask_cur, &mut mask_next);
             wakes.drain_at(ctx.now, &mut cur);
         };
         self.now = ctx.now;

@@ -31,6 +31,7 @@
 //! ```
 
 mod backend;
+mod compile;
 mod dram;
 mod engine;
 mod pool;

@@ -22,8 +22,8 @@ fn assert_bit_identical(seq: &SimResult, par: &SimResult) {
     }
 }
 
-/// Event-vs-sweep comparison: outputs and *semantic* stats (cycles, FLOPs,
-/// bytes, token counts) must be bit-identical; only the
+/// Cross-scheduler comparison: outputs and *semantic* stats (cycles,
+/// FLOPs, bytes, token counts) must be bit-identical; only the
 /// scheduler-implementation counters (`stats.sched`) may differ.
 fn assert_schedulers_agree(event: &SimResult, sweep: &SimResult) {
     assert_eq!(
@@ -35,6 +35,35 @@ fn assert_schedulers_agree(event: &SimResult, sweep: &SimResult) {
     for (name, t) in &event.outputs {
         assert_eq!(Some(t), sweep.outputs.get(name), "output '{name}' diverged across schedulers");
     }
+}
+
+/// Every scheduler backend, for the three-way differential suites.
+const ALL_SCHEDULERS: [Scheduler; 3] = [Scheduler::Event, Scheduler::Sweep, Scheduler::Compiled];
+
+/// Runs `g` under every scheduler x thread-count combination and asserts
+/// all of them agree with the `Event`/1-thread base run, which is
+/// returned.
+fn assert_three_way_identical(g: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> SimResult {
+    let base = simulate(g, env, &cfg.clone().with_scheduler(Scheduler::Event)).unwrap();
+    for sched in ALL_SCHEDULERS {
+        for threads in [1usize, 2, 4] {
+            let other =
+                simulate(g, env, &cfg.clone().with_scheduler(sched).with_threads(threads)).unwrap();
+            assert_eq!(
+                base.stats.semantic(),
+                other.stats.semantic(),
+                "semantic stats diverged for {sched:?} x {threads} threads"
+            );
+            for (name, t) in &base.outputs {
+                assert_eq!(
+                    Some(t),
+                    other.outputs.get(name),
+                    "output '{name}' diverged for {sched:?} x {threads} threads"
+                );
+            }
+        }
+    }
+    base
 }
 
 fn run_both(g: &SamGraph, env: &TensorEnv) -> (SimResult, SimResult) {
@@ -255,7 +284,7 @@ fn threads_knob_clamps_to_one() {
 }
 
 // ---------------------------------------------------------------------------
-// Event-driven scheduler vs. the legacy sweep oracle
+// Three-way oracle: event-driven vs. legacy sweep vs. compiled
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -264,7 +293,7 @@ fn event_scheduler_is_default() {
 }
 
 #[test]
-fn spmm_event_bit_identical_to_sweep() {
+fn spmm_three_way_bit_identical() {
     let a = gen::adjacency(24, 0.12, gen::GraphPattern::Uniform, 42, &Format::csr());
     let x = gen::sparse_features(24, 16, 0.3, 7, &Format::csr());
     let mut g = SamGraph::new();
@@ -272,9 +301,8 @@ fn spmm_event_bit_identical_to_sweep() {
     let mut env = TensorEnv::new();
     env.insert("A", a);
     env.insert("X", x);
-    let event = simulate(&g, &env, &SimConfig::default()).unwrap();
+    let event = assert_three_way_identical(&g, &env, &SimConfig::default());
     let sweep = simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Sweep)).unwrap();
-    assert_schedulers_agree(&event, &sweep);
     // The event engine must actually be doing less scheduler work: every
     // visited cycle, the sweep steps all nodes; the event engine only the
     // woken ones.
@@ -284,10 +312,41 @@ fn spmm_event_bit_identical_to_sweep() {
         event.stats.sched.events,
         sweep.stats.sched.events
     );
+    // And the compile pass must find at least the root -> row-scanner
+    // chain of the SpMM wiring.
+    let compiled =
+        simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Compiled)).unwrap();
+    assert!(compiled.stats.sched.fused_chains > 0, "expected fused chains in the SpMM graph");
+    assert_eq!(event.stats.sched.fused_chains, 0, "event runs must not report fusion");
 }
 
 #[test]
-fn multi_shard_event_bit_identical_to_sweep_at_all_thread_counts() {
+fn copy_pipeline_compiles_into_chains() {
+    // A straight scan -> write pipeline is the chain-fusion best case:
+    // the compile pass must absorb most of the graph into chains.
+    let mut g = SamGraph::new();
+    add_copy_pipeline(&mut g, "B0", "T0", [12, 12]);
+    let mut env = TensorEnv::new();
+    env.insert("B0", gen::sparse_features(12, 12, 0.3, 11, &Format::csr()));
+    let compiled =
+        simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Compiled)).unwrap();
+    assert!(
+        compiled.stats.sched.fused_chains >= 1,
+        "expected a fused chain, got {:?}",
+        compiled.stats.sched
+    );
+    // The 7-node pipeline must be mostly absorbed (root -> scanners ->
+    // array -> value writer fuse into one 5-node chain).
+    assert!(
+        compiled.stats.sched.fused_chain_nodes >= 4,
+        "expected >= 4 fused nodes, got {:?}",
+        compiled.stats.sched
+    );
+    assert_three_way_identical(&g, &env, &SimConfig::default());
+}
+
+#[test]
+fn multi_shard_three_way_bit_identical_at_all_thread_counts() {
     let mut g = SamGraph::new();
     let mut env = TensorEnv::new();
     for i in 0..4 {
@@ -300,17 +359,27 @@ fn multi_shard_event_bit_identical_to_sweep_at_all_thread_counts() {
         );
     }
     let sweep = simulate(&g, &env, &SimConfig::default().with_scheduler(Scheduler::Sweep)).unwrap();
-    for threads in [1, 2, 4, 16] {
-        let event = simulate(&g, &env, &SimConfig::default().with_threads(threads)).unwrap();
-        assert_schedulers_agree(&event, &sweep);
+    for sched in ALL_SCHEDULERS {
+        for threads in [1, 2, 4, 16] {
+            let other = simulate(
+                &g,
+                &env,
+                &SimConfig::default().with_scheduler(sched).with_threads(threads),
+            )
+            .unwrap();
+            assert_schedulers_agree(&other, &sweep);
+        }
     }
 }
 
 /// Long-latency stall coverage: block ALUs occupy the unit for many cycles
 /// and DRAM gathers park tokens in `pending_mem`, exercising the calendar
-/// queue's timer wakes (including idle-gap jumps) on both backends.
+/// queue's timer wakes (including idle-gap jumps) on all three backends.
+/// The 700-cycle random latency puts scanner wakes past the calendar
+/// horizon (heap path) and, for the compiled backend, makes fused
+/// scanner-headed chains sleep across ring-bucket wraparounds.
 #[test]
-fn latency_dominated_graph_event_bit_identical_to_sweep() {
+fn latency_dominated_graph_three_way_bit_identical() {
     use fuseflow_sim::TimingConfig;
     let a = gen::adjacency(16, 0.2, gen::GraphPattern::PowerLaw, 9, &Format::csr());
     let x = gen::sparse_features(16, 8, 0.4, 10, &Format::csr());
@@ -324,27 +393,29 @@ fn latency_dominated_graph_event_bit_identical_to_sweep() {
     timing.dram_random_latency = 700; // beyond the calendar horizon: heap path
     timing.outstanding = 2;
     let cfg = SimConfig { timing, ..SimConfig::default() };
-    let event = simulate(&g, &env, &cfg).unwrap();
-    let sweep = simulate(&g, &env, &cfg.clone().with_scheduler(Scheduler::Sweep)).unwrap();
-    assert_schedulers_agree(&event, &sweep);
+    let event = assert_three_way_identical(&g, &env, &cfg);
     assert!(event.stats.sched.cycles_skipped > 0, "expected idle-gap fast-forwards");
+    let compiled = simulate(&g, &env, &cfg.clone().with_scheduler(Scheduler::Compiled)).unwrap();
+    assert!(compiled.stats.sched.fused_chains > 0, "latency run must still fuse chains");
+    assert!(compiled.stats.sched.cycles_skipped > 0);
 }
 
 #[test]
 fn error_paths_match_across_schedulers() {
-    // Exhausted cycle budget must be reported at the same point.
+    // Exhausted cycle budget must be reported at the same point by all
+    // three backends.
     let mut g = SamGraph::new();
     add_copy_pipeline(&mut g, "B0", "T0", [8, 8]);
     let mut env = TensorEnv::new();
     env.insert("B0", gen::sparse_features(8, 8, 0.3, 3, &Format::csr()));
     let tiny = SimConfig { max_cycles: 2, ..SimConfig::default() };
-    let event = simulate(&g, &env, &tiny).unwrap_err();
-    let sweep = simulate(&g, &env, &tiny.clone().with_scheduler(Scheduler::Sweep)).unwrap_err();
-    assert_eq!(event, fuseflow_sim::SimError::MaxCycles(2));
-    assert_eq!(event, sweep);
+    for sched in ALL_SCHEDULERS {
+        let err = simulate(&g, &env, &tiny.clone().with_scheduler(sched)).unwrap_err();
+        assert_eq!(err, fuseflow_sim::SimError::MaxCycles(2), "wrong error under {sched:?}");
+    }
 
-    // A run that genuinely deadlocks must report the same cycle under both
-    // schedulers: with `outstanding = 0` no node can ever issue a memory
+    // A run that genuinely deadlocks must report the same cycle under every
+    // scheduler: with `outstanding = 0` no node can ever issue a memory
     // request, so after the initial token exchanges every node starves with
     // no pending wake-up.
     let mut g = SamGraph::new();
@@ -355,13 +426,90 @@ fn error_paths_match_across_schedulers() {
     let mut timing = fuseflow_sim::TimingConfig::comal();
     timing.outstanding = 0;
     let cfg = SimConfig { timing, ..SimConfig::default() };
-    let event = simulate(&g, &env, &cfg);
-    let sweep = simulate(&g, &env, &cfg.clone().with_scheduler(Scheduler::Sweep));
-    match (event, sweep) {
-        (
-            Err(fuseflow_sim::SimError::Deadlock { cycle: ce, .. }),
-            Err(fuseflow_sim::SimError::Deadlock { cycle: cs, .. }),
-        ) => assert_eq!(ce, cs, "deadlock reported at different cycles"),
-        (e, s) => panic!("expected deadlocks, got {e:?} / {s:?}"),
+    let mut cycles = Vec::new();
+    for sched in ALL_SCHEDULERS {
+        match simulate(&g, &env, &cfg.clone().with_scheduler(sched)) {
+            Err(fuseflow_sim::SimError::Deadlock { cycle, .. }) => cycles.push(cycle),
+            other => panic!("expected deadlock under {sched:?}, got {other:?}"),
+        }
     }
+    assert_eq!(cycles[0], cycles[1], "event vs sweep deadlock cycle");
+    assert_eq!(cycles[0], cycles[2], "event vs compiled deadlock cycle");
+}
+
+// ---------------------------------------------------------------------------
+// Three-way oracle over the model zoo (full compiler pipeline)
+// ---------------------------------------------------------------------------
+
+/// Runs one model end to end (compile + simulate every region) under every
+/// scheduler x thread-count combination, fused and unfused, asserting
+/// bit-identical outputs and semantic stats throughout.
+fn assert_model_three_way_identical(m: &fuseflow_models::ModelInstance) {
+    use fuseflow_core::pipeline::{compile, run};
+    use fuseflow_models::Fusion;
+    for fusion in [Fusion::Unfused, Fusion::Full] {
+        let sched = m.schedule(fusion);
+        let compiled = compile(&m.program, &sched).unwrap();
+        let base = run(&m.program, &compiled, &m.inputs, &SimConfig::default()).unwrap();
+        for scheduler in ALL_SCHEDULERS {
+            for threads in [1usize, 2, 4] {
+                let cfg = SimConfig::default().with_scheduler(scheduler).with_threads(threads);
+                let other = run(&m.program, &compiled, &m.inputs, &cfg).unwrap();
+                assert_eq!(
+                    base.stats.semantic(),
+                    other.stats.semantic(),
+                    "{}: stats diverged for {fusion} x {scheduler:?} x {threads} threads",
+                    m.name
+                );
+                assert_eq!(
+                    &base.outputs, &other.outputs,
+                    "{}: outputs diverged for {fusion} x {scheduler:?} x {threads} threads",
+                    m.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_zoo_sae_three_way_bit_identical() {
+    assert_model_three_way_identical(&fuseflow_models::sae("sae", 16, 8, 4, 0.4, 13));
+}
+
+#[test]
+fn model_zoo_gcn_three_way_bit_identical() {
+    let ds = fuseflow_models::GraphDataset {
+        name: "tiny",
+        nodes: 16,
+        feats: 8,
+        density: 0.15,
+        pattern: gen::GraphPattern::PowerLaw,
+    };
+    assert_model_three_way_identical(&fuseflow_models::gcn(&ds, 8, 4, 17));
+}
+
+#[test]
+fn model_zoo_graphsage_three_way_bit_identical() {
+    let ds = fuseflow_models::GraphDataset {
+        name: "tiny",
+        nodes: 16,
+        feats: 8,
+        density: 0.15,
+        pattern: gen::GraphPattern::Uniform,
+    };
+    assert_model_three_way_identical(&fuseflow_models::graphsage(&ds, 8, 4, 19));
+}
+
+#[test]
+fn model_zoo_gpt_attention_three_way_bit_identical() {
+    assert_model_three_way_identical(&fuseflow_models::gpt_attention(8, 4, 4, 23));
+}
+
+/// The fully-fused map stack lowers to one long unary-ALU chain — the one
+/// workload whose compiled plan is dominated by direct-push ALU segments,
+/// so this exercises the merged segment executor against the generic
+/// engines end to end (odd depth makes the chain end mid-segment).
+#[test]
+fn model_zoo_map_stack_three_way_bit_identical() {
+    assert_model_three_way_identical(&fuseflow_models::map_stack(16, 9, 0.3, 29));
 }

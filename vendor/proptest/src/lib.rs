@@ -2,9 +2,15 @@
 //! workspace uses (see `vendor/README.md`).
 //!
 //! Each `proptest!` test runs `ProptestConfig::cases` deterministic random
-//! cases (seeded from the test's name, so runs are reproducible). There is no
-//! shrinking: a failing case panics with the ordinary assertion message plus
-//! the case number, which is enough to replay it under a debugger.
+//! cases (seeded from the test's name, so runs are reproducible). On
+//! failure a minimal greedy shrinker (integer bisection toward the range
+//! start, `Vec` prefix truncation toward the minimum length, applied
+//! per argument to a fixpoint within `ProptestConfig::max_shrink_iters`
+//! probes) reports a near-minimal counterexample before re-raising the
+//! original panic. Unlike upstream there are no value trees: shrinking is
+//! driven by [`strategy::Strategy::shrink`] candidates on the final
+//! values, so mapped strategies (`prop_map`, `prop_oneof!`) do not shrink
+//! through the mapping — they simply yield no candidates.
 
 pub mod test_runner {
     /// Deterministic generator driving case generation (SplitMix64).
@@ -40,18 +46,19 @@ pub mod test_runner {
         }
     }
 
-    /// Per-test configuration; only `cases` is interpreted.
+    /// Per-test configuration.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
         /// Number of random cases each property is checked against.
         pub cases: u32,
-        /// Accepted for upstream compatibility; unused (no shrinking here).
+        /// Probe budget for the greedy shrinker once a case fails
+        /// (`0` disables shrinking).
         pub max_shrink_iters: u32,
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+            ProptestConfig { cases: 256, max_shrink_iters: 512 }
         }
     }
 }
@@ -61,14 +68,24 @@ pub mod strategy {
 
     /// A generator of random values of type `Value`.
     ///
-    /// Unlike upstream proptest there is no value tree or shrinking; a
-    /// strategy simply produces a value per case.
+    /// Unlike upstream proptest there is no value tree; a strategy
+    /// produces a value per case and, for shrinking, proposes simplified
+    /// *candidates* of a previously generated value via [`Strategy::shrink`].
     pub trait Strategy {
         /// The type of value this strategy generates.
         type Value;
 
         /// Generates one value for the current case.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Simplification candidates for a value this strategy generated,
+        /// most aggressive first. Every candidate must itself be a value
+        /// the strategy could have generated. The default is no
+        /// candidates (strategies like `prop_map` cannot invert their
+        /// mapping).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f` (upstream `prop_map`).
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -95,6 +112,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -144,6 +164,23 @@ pub mod strategy {
         }
     }
 
+    /// Integer bisection toward `lo`: the range start itself, the halfway
+    /// point, and the predecessor — most aggressive first, deduplicated.
+    fn bisect_toward(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            if v - 1 != lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -152,6 +189,12 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    bisect_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
@@ -162,37 +205,72 @@ pub mod strategy {
                     let span = (hi as i128 - lo as i128 + 1) as u64;
                     (lo as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    bisect_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.generate(rng),)+)
                 }
+                /// Shrinks one component at a time, holding the others
+                /// fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
-    tuple_strategy!(A, B);
-    tuple_strategy!(A, B, C);
-    tuple_strategy!(A, B, C, D);
-    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 
     /// Types with a canonical whole-domain strategy (upstream `Arbitrary`).
     pub trait Arbitrary: Sized {
         /// Generates one arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Simplification candidates for a value (see [`Strategy::shrink`]).
+        fn arbitrary_shrink(_value: &Self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn arbitrary_shrink(value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -200,11 +278,17 @@ pub mod strategy {
         fn arbitrary(rng: &mut TestRng) -> u64 {
             rng.next_u64()
         }
+        fn arbitrary_shrink(value: &u64) -> Vec<u64> {
+            bisect_toward(0, *value as i128).into_iter().map(|c| c as u64).collect()
+        }
     }
 
     impl Arbitrary for u32 {
         fn arbitrary(rng: &mut TestRng) -> u32 {
             rng.next_u64() as u32
+        }
+        fn arbitrary_shrink(value: &u32) -> Vec<u32> {
+            bisect_toward(0, *value as i128).into_iter().map(|c| c as u32).collect()
         }
     }
 
@@ -217,11 +301,44 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::arbitrary_shrink(value)
+        }
     }
 
     /// The whole-domain strategy for `T` (upstream `any::<T>()`).
     pub fn any<T: Arbitrary>() -> Any<T> {
         Any(std::marker::PhantomData)
+    }
+
+    /// Greedily minimizes a failing value: repeatedly adopts the first
+    /// [`Strategy::shrink`] candidate for which `fails` still returns
+    /// `true`, until no candidate fails or `max_iters` probes have been
+    /// spent. Returns the minimized value and the number of probes used.
+    ///
+    /// This is the engine behind `proptest!`'s counterexample reporting;
+    /// it is exposed for direct testing.
+    pub fn shrink_to_minimal<S: Strategy>(
+        strat: &S,
+        mut value: S::Value,
+        max_iters: u32,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, u32) {
+        let mut iters = 0u32;
+        'outer: loop {
+            for cand in strat.shrink(&value) {
+                if iters >= max_iters {
+                    break 'outer;
+                }
+                iters += 1;
+                if fails(&cand) {
+                    value = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, iters)
     }
 }
 
@@ -262,12 +379,40 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.size.hi - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Prefix truncation toward the minimum length (the shortest
+        /// allowed prefix, the half-length prefix, then dropping one
+        /// element), followed by element-wise shrink candidates.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let lo = self.size.lo;
+            if len > lo {
+                let mut lens = vec![lo, lo + (len - lo) / 2, len - 1];
+                lens.dedup();
+                for l in lens {
+                    if l < len {
+                        out.push(value[..l].to_vec());
+                    }
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -350,16 +495,37 @@ macro_rules! __proptest_impl {
                 module_path!(), "::", stringify!($name)
             ));
             for __case in 0..__config.cases {
-                let __run = || {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
-                };
-                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
-                    eprintln!(
-                        "proptest case {}/{} of {} failed (deterministic seed; no shrinking)",
-                        __case + 1, __config.cases, stringify!($name),
+                let __args = ($($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+);
+                let ($($arg,)+) = &__args;
+                $(let $arg = ::std::clone::Clone::clone($arg);)+
+                let __run = move || { $body };
+                if let Err(__panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    // Greedy minimization: integer bisection and Vec
+                    // prefix truncation per argument (further probe
+                    // panics are expected and quieted only by the test
+                    // harness's output capture).
+                    // The failure probe re-runs the body on a clone of a
+                    // candidate argument tuple.
+                    let (__min, __iters) = $crate::strategy::shrink_to_minimal(
+                        &($($strat,)+),
+                        __args,
+                        __config.max_shrink_iters,
+                        |__cand| {
+                            let ($($arg,)+) = __cand;
+                            $(let $arg = ::std::clone::Clone::clone($arg);)+
+                            ::std::panic::catch_unwind(
+                                ::std::panic::AssertUnwindSafe(move || $body),
+                            )
+                            .is_err()
+                        },
                     );
-                    ::std::panic::resume_unwind(panic);
+                    let ($($arg,)+) = &__min;
+                    eprintln!(
+                        "proptest case {}/{} of {} failed; minimal counterexample after {} shrink probe(s):",
+                        __case + 1, __config.cases, stringify!($name), __iters,
+                    );
+                    $(eprintln!("    {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(__panic);
                 }
             }
         }
@@ -392,6 +558,93 @@ mod tests {
         #[test]
         fn oneof_picks_each_arm(x in prop_oneof![Just(1u32), Just(2u32)]) {
             prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    mod shrink {
+        use crate::strategy::{shrink_to_minimal, Strategy};
+
+        #[test]
+        fn range_bisects_toward_start() {
+            let strat = 3u32..100;
+            // Most aggressive first: the start, the midpoint, the predecessor.
+            assert_eq!(strat.shrink(&50), vec![3, 26, 49]);
+            assert_eq!(strat.shrink(&4), vec![3]);
+            assert!(strat.shrink(&3).is_empty(), "the start is already minimal");
+        }
+
+        #[test]
+        fn signed_range_bisects_toward_start() {
+            let strat = -8i32..=8;
+            assert_eq!(strat.shrink(&5), vec![-8, -2, 4]);
+            assert!(strat.shrink(&-8).is_empty());
+        }
+
+        #[test]
+        fn arbitrary_bool_shrinks_to_false() {
+            use crate::strategy::any;
+            assert_eq!(any::<bool>().shrink(&true), vec![false]);
+            assert!(any::<bool>().shrink(&false).is_empty());
+        }
+
+        #[test]
+        fn minimizes_integer_to_exact_boundary() {
+            let strat = 0u32..1000;
+            let (min, iters) = shrink_to_minimal(&strat, 913, 512, |v| *v >= 37);
+            assert_eq!(min, 37, "greedy bisection must land exactly on the boundary");
+            assert!(iters > 0 && iters < 512, "must converge within budget ({iters})");
+        }
+
+        #[test]
+        fn minimizes_vec_by_prefix_truncation_then_elements() {
+            let strat = crate::collection::vec(0u32..10, 0..20);
+            let start = vec![9, 8, 7, 6, 5, 4, 3];
+            let (min, _) = shrink_to_minimal(&strat, start, 512, |v| v.len() >= 5);
+            // Prefix truncation reaches the minimal failing length, then
+            // element-wise shrinking zeroes the survivors (still failing).
+            assert_eq!(min, vec![0, 0, 0, 0, 0]);
+        }
+
+        #[test]
+        fn vec_never_shrinks_below_its_size_range() {
+            let strat = crate::collection::vec(0u32..10, 2..6);
+            let (min, _) = shrink_to_minimal(&strat, vec![5, 5, 5, 5], 512, |_| true);
+            assert_eq!(min, vec![0, 0], "length floor is the SizeRange minimum");
+        }
+
+        #[test]
+        fn tuple_shrinks_components_independently() {
+            let strat = (0u32..100, 0u32..100);
+            let (min, _) = shrink_to_minimal(&strat, (60, 70), 512, |(a, b)| a + b >= 50);
+            assert_eq!(min.0 + min.1, 50, "minimal sum on the failure boundary");
+        }
+
+        #[test]
+        fn budget_zero_disables_shrinking() {
+            let strat = 0u32..1000;
+            let (min, iters) = shrink_to_minimal(&strat, 913, 0, |v| *v >= 37);
+            assert_eq!((min, iters), (913, 0));
+        }
+
+        #[test]
+        fn mapped_strategies_yield_no_candidates() {
+            let strat = (0u32..10).prop_map(|v| v * 2);
+            assert!(strat.shrink(&8).is_empty(), "prop_map cannot invert its mapping");
+        }
+
+        // A deliberately failing property, expanded *without* `#[test]` so
+        // the harness does not run it directly: drives the whole macro
+        // path — generation, failure detection, shrinking, re-panic.
+        crate::proptest! {
+            fn deliberately_failing_property(x in 0u32..1000, v in crate::collection::vec(0u32..10, 0..8)) {
+                crate::prop_assert!(x < 37 || v.len() < 2);
+            }
+        }
+
+        #[test]
+        fn macro_shrinks_and_repanics_end_to_end() {
+            let result = std::panic::catch_unwind(deliberately_failing_property);
+            assert!(result.is_err(), "the original panic must be re-raised after shrinking");
         }
     }
 }
