@@ -3,7 +3,7 @@
 //! sweeps and writes the CSVs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fuseflow_core::pipeline::{compile, run};
+use fuseflow_core::pipeline::{compile, compile_at, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_core::{estimate, fuse_region};
 use fuseflow_models::{
@@ -232,6 +232,27 @@ fn sched_throughput(c: &mut Criterion) {
         let cfg = SimConfig { timing: near.clone(), scheduler: sched, ..SimConfig::default() };
         g.bench_function(format!("chain_{sname}"), |b| {
             b.iter(|| run(&m.program, &compiled, &m.inputs, &cfg).unwrap().stats.cycles)
+        });
+    }
+    // The spatially partitioned executor (`SimConfig::partitions`) is
+    // measured on the same stack compiled fully on-chip: with no DRAM
+    // endpoint in more than one region the memory-order gate is vacuous
+    // and each region boundary is one rate-balanced cut channel, so the
+    // k pipelined event-scheduler regions decouple into
+    // ~channel-capacity-sized strides instead of lockstepping. Cycle
+    // counts are bit-identical to `chipstack_event`
+    // (`crates/sim/tests/determinism.rs`); the wall-clock delta against
+    // that row is the multi-core payoff (threads = partitions, so the
+    // win needs as many physical cores).
+    let chip = compile_at(&m.program, &m.schedule(Fusion::Full), fuseflow_sam::MemLocation::OnChip)
+        .unwrap();
+    g.bench_function("chipstack_event", |b| {
+        b.iter(|| run(&m.program, &chip, &m.inputs, &sim()).unwrap().stats.cycles)
+    });
+    for parts in [2usize, 4] {
+        let cfg = sim().with_partitions(parts).with_threads(parts);
+        g.bench_function(format!("chipstack_part{parts}"), |b| {
+            b.iter(|| run(&m.program, &chip, &m.inputs, &cfg).unwrap().stats.cycles)
         });
     }
     g.finish();

@@ -40,9 +40,10 @@ struct Opts {
 /// `BENCH_sim.json` (label -> simulated cycles).
 type Points = Vec<(String, u64)>;
 
-/// One three-way scheduler measurement (the `sched` experiment): the same
-/// workload under the legacy sweep, the event-driven scheduler, and the
-/// compiled chain-fused backend.
+/// One scheduler measurement row (the `sched` experiment): the same
+/// workload under the legacy sweep, the event-driven scheduler, the
+/// compiled chain-fused backend, and (for workloads that opt in) the
+/// spatially partitioned executor.
 struct SchedRow {
     workload: String,
     cycles: u64,
@@ -61,6 +62,30 @@ struct SchedRow {
     peak_ready: u64,
     fused_chains: u64,
     fused_chain_nodes: u64,
+    /// Spatial regions used for the partitioned measurement (0 = not
+    /// measured for this workload). The run uses as many worker threads
+    /// as regions.
+    partitions: u64,
+    /// Simulated cycles under the partitioned executor — asserted equal
+    /// to `cycles` before the row is recorded, tracked separately so the
+    /// drift gate guards the partitioned engine independently.
+    cycles_part: u64,
+    part_wall_s: f64,
+    bridge_tokens: u64,
+    frontier_stalls: u64,
+}
+
+/// One figure entry of the machine-readable report: its deterministic
+/// cycle points plus the pool/simulator configuration that produced them.
+struct FigEntry {
+    id: String,
+    wall_s: f64,
+    /// Worker threads the figure's sweep pool ran with.
+    threads: usize,
+    /// Spatial partitions (`SimConfig::partitions`) the figure's
+    /// simulations used (max across its runs; 1 = unpartitioned).
+    partitions: usize,
+    points: Points,
 }
 
 /// Machine-readable run report, written to `BENCH_sim.json` at the repo
@@ -69,7 +94,7 @@ struct SchedRow {
 /// `results/quick_cycles.json`.
 #[derive(Default)]
 struct Report {
-    figures: Vec<(String, f64, Points)>,
+    figures: Vec<FigEntry>,
     sched: Vec<SchedRow>,
 }
 
@@ -78,8 +103,21 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Report {
-    fn add(&mut self, id: &str, wall_s: f64, points: Points) {
-        self.figures.push((id.to_string(), wall_s, points));
+    fn add(&mut self, id: &str, wall_s: f64, threads: usize, points: Points) {
+        // Figures that produce no deterministic cycle points (analytical
+        // models, error tables) still print and write CSVs, but are kept
+        // out of the report: a zero-point figure is indistinguishable from
+        // a silently broken sweep, and CI's drift gate rejects it.
+        if points.is_empty() {
+            println!("  ({id}: no cycle points — figure omitted from BENCH_sim.json)");
+            return;
+        }
+        let partitions = if id == "sched" {
+            self.sched.iter().map(|r| r.partitions as usize).max().unwrap_or(1).max(1)
+        } else {
+            1
+        };
+        self.figures.push(FigEntry { id: id.to_string(), wall_s, threads, partitions, points });
     }
 
     fn to_json(&self, o: Opts, wall_s_total: f64) -> String {
@@ -89,13 +127,15 @@ impl Report {
         let _ = writeln!(j, "  \"threads\": {},", o.threads);
         let _ = writeln!(j, "  \"wall_s_total\": {wall_s_total:.3},");
         let _ = writeln!(j, "  \"figures\": [");
-        for (fi, (id, wall, points)) in self.figures.iter().enumerate() {
+        for (fi, fig) in self.figures.iter().enumerate() {
             let _ = writeln!(j, "    {{");
-            let _ = writeln!(j, "      \"id\": \"{}\",", json_escape(id));
-            let _ = writeln!(j, "      \"wall_s\": {wall:.3},");
+            let _ = writeln!(j, "      \"id\": \"{}\",", json_escape(&fig.id));
+            let _ = writeln!(j, "      \"wall_s\": {:.3},", fig.wall_s);
+            let _ = writeln!(j, "      \"threads\": {},", fig.threads);
+            let _ = writeln!(j, "      \"partitions\": {},", fig.partitions);
             let _ = writeln!(j, "      \"points\": [");
-            for (pi, (label, cycles)) in points.iter().enumerate() {
-                let comma = if pi + 1 < points.len() { "," } else { "" };
+            for (pi, (label, cycles)) in fig.points.iter().enumerate() {
+                let comma = if pi + 1 < fig.points.len() { "," } else { "" };
                 let _ = writeln!(
                     j,
                     "        {{\"label\": \"{}\", \"cycles\": {cycles}}}{comma}",
@@ -112,6 +152,8 @@ impl Report {
             let comma = if ri + 1 < self.sched.len() { "," } else { "" };
             let speedup = r.sweep_wall_s / r.event_wall_s.max(1e-9);
             let speedup_compiled = r.event_wall_s / r.compiled_wall_s.max(1e-9);
+            let speedup_part =
+                if r.partitions > 0 { r.event_wall_s / r.part_wall_s.max(1e-9) } else { 0.0 };
             let _ = writeln!(
                 j,
                 "    {{\"workload\": \"{}\", \"cycles\": {}, \"cycles_compiled\": {}, \
@@ -119,7 +161,10 @@ impl Report {
                  \"speedup\": {:.2}, \"speedup_compiled_vs_event\": {:.2}, \
                  \"sweep_events\": {}, \"event_events\": {}, \"compiled_events\": {}, \
                  \"cycles_skipped\": {}, \"peak_ready\": {}, \
-                 \"fused_chains\": {}, \"fused_chain_nodes\": {}}}{comma}",
+                 \"fused_chains\": {}, \"fused_chain_nodes\": {}, \
+                 \"partitions\": {}, \"cycles_part\": {}, \"part_wall_s\": {:.4}, \
+                 \"speedup_part_vs_event\": {:.2}, \"bridge_tokens\": {}, \
+                 \"frontier_stalls\": {}}}{comma}",
                 json_escape(&r.workload),
                 r.cycles,
                 r.cycles_compiled,
@@ -134,7 +179,13 @@ impl Report {
                 r.cycles_skipped,
                 r.peak_ready,
                 r.fused_chains,
-                r.fused_chain_nodes
+                r.fused_chain_nodes,
+                r.partitions,
+                r.cycles_part,
+                r.part_wall_s,
+                speedup_part,
+                r.bridge_tokens,
+                r.frontier_stalls
             );
         }
         let _ = writeln!(j, "  ]");
@@ -721,7 +772,21 @@ fn table4(o: Opts) -> Points {
 /// which this experiment records (with the event/compiled engine counters)
 /// into `BENCH_sim.json`.
 fn sched(o: Opts, rep: &mut Report) -> Points {
-    println!("\n== Sched: sweep vs event vs compiled scheduler (wall-clock) ==");
+    println!("\n== Sched: sweep vs event vs compiled vs partitioned (wall-clock) ==");
+    /// One sched workload: a compiled model plus the simulator
+    /// configuration to measure it under. `partitions > 0` additionally
+    /// measures the spatially partitioned executor with that many regions
+    /// and as many worker threads (only worthwhile for fused
+    /// single-component graphs with enough compute between cut channels —
+    /// DRAM-resident workloads serialize on the memory-order gate).
+    struct Workload {
+        name: &'static str,
+        m: ModelInstance,
+        sched: Schedule,
+        cfg: SimConfig,
+        on_chip: bool,
+        partitions: usize,
+    }
     let ds = GraphDataset {
         name: "karate",
         nodes: if o.quick { 24 } else { 34 },
@@ -739,16 +804,41 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
     // fused graph where most nodes idle at any instant (the sweep's worst
     // case, since its whole-shard fast-forward only fires when *nothing*
     // progresses).
-    let mut workloads: Vec<(&str, ModelInstance, Schedule, SimConfig)> = vec![
-        ("gcn_dram", gcn(&ds, 8, 4, 3), Schedule::unfused(), sim()),
-        (
+    let wl = |name: &'static str, m: ModelInstance, sched: Schedule, cfg: SimConfig| Workload {
+        name,
+        m,
+        sched,
+        cfg,
+        on_chip: false,
+        partitions: 0,
+    };
+    let mut workloads: Vec<Workload> = vec![
+        wl("gcn_dram", gcn(&ds, 8, 4, 3), Schedule::unfused(), sim()),
+        wl(
             "gcn_hbm_far",
             gcn(&ds, 8, 4, 3),
             Schedule::unfused(),
             SimConfig { timing: far.clone(), ..sim() },
         ),
-        ("gcn_fused", gcn(&ds, 8, 4, 3), Schedule::full(), sim()),
-        ("gcn_fused_far", gcn(&ds, 8, 4, 3), Schedule::full(), SimConfig { timing: far, ..sim() }),
+        wl("gcn_fused", gcn(&ds, 8, 4, 3), Schedule::full(), sim()),
+        wl(
+            "gcn_fused_far",
+            gcn(&ds, 8, 4, 3),
+            Schedule::full(),
+            SimConfig { timing: far, ..sim() },
+        ),
+        // The same fused GCN pinned in on-chip memory (the paper's
+        // BRAM-resident regime): no DRAM nodes means the partitioned
+        // executor's memory-order gate is vacuous, so regions pipeline
+        // freely — the headline workload for `SimConfig::partitions`.
+        Workload {
+            name: "gcn_fused_chip",
+            m: gcn(&ds, 8, 4, 3),
+            sched: Schedule::full(),
+            cfg: sim(),
+            on_chip: true,
+            partitions: 4,
+        },
         // Deep elementwise pipelines (matmul -> bias -> nonlinearity,
         // twice): the fully-fused schedules produce the long
         // producer-consumer chains the compiled backend targets.
@@ -758,11 +848,11 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
             } else {
                 sae("sae", 48, 24, 16, 0.5, 7)
             };
-            ("sae_fused", m, Schedule::full(), sim())
+            wl("sae_fused", m, Schedule::full(), sim())
         },
         {
             let m = if o.quick { gpt_attention(24, 8, 8, 5) } else { gpt_attention(48, 8, 8, 5) };
-            ("gpt_fused", m, Schedule::full(), sim())
+            wl("gpt_fused", m, Schedule::full(), sim())
         },
         // A pure activation pipeline: the fully-fused schedule is one long
         // single-reader/single-writer chain (the compiled backend's target
@@ -772,28 +862,53 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
         // under the default DRAM timing the random-gather source caps the
         // pipe at ~outstanding/latency tokens per cycle and the comparison
         // degenerates into a memory-model benchmark all three schedulers
-        // pay identically.
+        // pay identically. The busy chain also splits well spatially, so
+        // this workload opts into the partitioned column.
         {
             let m = if o.quick { map_stack(48, 24, 0.5, 9) } else { map_stack(96, 48, 0.5, 9) };
             let mut near = TimingConfig::comal();
             near.dram_stream_latency = 2;
             near.dram_random_latency = 8;
             near.outstanding = 64;
-            ("stack_fused", m, Schedule::full(), SimConfig { timing: near, ..sim() })
+            let mut w = wl("stack_fused", m, Schedule::full(), SimConfig { timing: near, ..sim() });
+            w.partitions = 4;
+            w
+        },
+        // The same activation pipeline pinned on-chip and scaled up: with
+        // no DRAM endpoints the memory-order gate is vacuous, and the
+        // stack's cut channels are one-per-boundary and rate-balanced, so
+        // each region runs ~channel_capacity cycles ahead per round — the
+        // decoupled regime where the partitioned executor's pipeline
+        // parallelism pays off (`stack_fused` above, by contrast, is
+        // serialized by its DRAM source and sink).
+        Workload {
+            name: "stack_fused_chip",
+            m: if o.quick { map_stack(128, 24, 0.5, 9) } else { map_stack(256, 32, 0.5, 9) },
+            sched: Schedule::full(),
+            cfg: sim(),
+            on_chip: true,
+            partitions: 4,
         },
     ];
     if !o.quick {
-        workloads.push(("graphsage_fused", graphsage(&ds, 8, 4, 5), Schedule::full(), sim()));
+        workloads.push(wl("graphsage_fused", graphsage(&ds, 8, 4, 5), Schedule::full(), sim()));
     }
     let mut csv = String::from(
         "workload,cycles,cycles_compiled,sweep_wall_s,event_wall_s,compiled_wall_s,\
          speedup,speedup_compiled_vs_event,sweep_events,event_events,compiled_events,\
-         cycles_skipped,peak_ready,fused_chains,fused_chain_nodes\n",
+         cycles_skipped,peak_ready,fused_chains,fused_chain_nodes,\
+         partitions,cycles_part,part_wall_s,speedup_part_vs_event,bridge_tokens,\
+         frontier_stalls\n",
     );
     let mut points = Points::new();
     let reps = if o.quick { 2 } else { 3 };
-    for (name, m, sched, cfg) in workloads {
-        let compiled = compile(&m.program, &sched).unwrap();
+    for w in workloads {
+        let (name, m, cfg) = (w.name, &w.m, &w.cfg);
+        let compiled = if w.on_chip {
+            compile_at(&m.program, &w.sched, MemLocation::OnChip).unwrap()
+        } else {
+            compile(&m.program, &w.sched).unwrap()
+        };
         let timed = |cfg: &SimConfig| {
             let mut best = f64::INFINITY;
             let mut stats = None;
@@ -805,7 +920,7 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
             }
             (stats.unwrap(), best)
         };
-        let (ev, event_wall) = timed(&cfg);
+        let (ev, event_wall) = timed(cfg);
         let (sw, sweep_wall) = timed(&cfg.clone().with_scheduler(Scheduler::Sweep));
         let (co, compiled_wall) = timed(&cfg.clone().with_scheduler(Scheduler::Compiled));
         assert_eq!(
@@ -818,12 +933,31 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
             co.semantic(),
             "{name}: event vs compiled diverged (this is a simulator bug)"
         );
+        let (pa, part_wall) = if w.partitions > 0 {
+            let part_cfg = cfg.clone().with_partitions(w.partitions).with_threads(w.partitions);
+            let (pa, wall) = timed(&part_cfg);
+            assert_eq!(
+                ev.semantic(),
+                pa.semantic(),
+                "{name}: event vs partitioned diverged (this is a simulator bug)"
+            );
+            (Some(pa), wall)
+        } else {
+            (None, 0.0)
+        };
         let speedup = sweep_wall / event_wall.max(1e-9);
         let speedup_compiled = event_wall / compiled_wall.max(1e-9);
+        let speedup_part = event_wall / part_wall.max(1e-9);
+        let part_note = pa.as_ref().map_or(String::new(), |p| {
+            format!(
+                "  part{}x {part_wall:.4}s {speedup_part:.2}x (bridged {}, stalls {})",
+                w.partitions, p.sched.bridge_tokens, p.sched.frontier_stalls
+            )
+        });
         println!(
             "  {name:14} {:>10} cycles  sweep {:.4}s  event {:.4}s  compiled {:.4}s  \
              {speedup:.2}x / {speedup_compiled:.2}x  \
-             (events {} -> {} -> {}, skipped {}, peak ready {}, chains {}/{} nodes)",
+             (events {} -> {} -> {}, skipped {}, peak ready {}, chains {}/{} nodes){part_note}",
             ev.cycles,
             sweep_wall,
             event_wall,
@@ -839,7 +973,8 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
         writeln!(
             csv,
             "{name},{},{},{sweep_wall:.4},{event_wall:.4},{compiled_wall:.4},\
-             {speedup:.3},{speedup_compiled:.3},{},{},{},{},{},{},{}",
+             {speedup:.3},{speedup_compiled:.3},{},{},{},{},{},{},{},\
+             {},{},{part_wall:.4},{:.3},{},{}",
             ev.cycles,
             co.cycles,
             sw.sched.events,
@@ -848,7 +983,12 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
             ev.sched.cycles_skipped,
             ev.sched.peak_ready,
             co.sched.fused_chains,
-            co.sched.fused_chain_nodes
+            co.sched.fused_chain_nodes,
+            w.partitions,
+            pa.as_ref().map_or(0, |p| p.cycles),
+            if pa.is_some() { speedup_part } else { 0.0 },
+            pa.as_ref().map_or(0, |p| p.sched.bridge_tokens),
+            pa.as_ref().map_or(0, |p| p.sched.frontier_stalls),
         )
         .unwrap();
         points.push((name.to_string(), ev.cycles));
@@ -866,6 +1006,11 @@ fn sched(o: Opts, rep: &mut Report) -> Points {
             peak_ready: ev.sched.peak_ready,
             fused_chains: co.sched.fused_chains,
             fused_chain_nodes: co.sched.fused_chain_nodes,
+            partitions: w.partitions as u64,
+            cycles_part: pa.as_ref().map_or(0, |p| p.cycles),
+            part_wall_s: part_wall,
+            bridge_tokens: pa.as_ref().map_or(0, |p| p.sched.bridge_tokens),
+            frontier_stalls: pa.as_ref().map_or(0, |p| p.sched.frontier_stalls),
         });
     }
     save("sched", &csv);
@@ -965,7 +1110,7 @@ fn main() {
     let timed = |rep: &mut Report, id: &str, f: &mut dyn FnMut(&mut Report) -> Points| {
         let t = Instant::now();
         let points = f(rep);
-        rep.add(id, t.elapsed().as_secs_f64(), points);
+        rep.add(id, t.elapsed().as_secs_f64(), opts.threads, points);
     };
     if want("fig1") {
         timed(&mut report, "fig1", &mut |_| fig1(opts));

@@ -39,6 +39,7 @@
 
 use crate::compile::{plan_units, ChanEnds};
 use crate::dram::{AccessKind, Dram};
+use crate::partition::{plan_regions, reaches_writer, step_cost};
 use crate::pool::parallel_map;
 use crate::rebuild::assemble_output;
 use crate::sched::{ReadySet, WakeQueue};
@@ -88,6 +89,14 @@ pub struct SimConfig {
     pub threads: usize,
     /// Shard execution loop; `Scheduler::Sweep` is the legacy oracle.
     pub scheduler: Scheduler,
+    /// Spatial regions to split each shard into (`1` = no partitioning).
+    /// With `partitions > 1` the Event and Compiled schedulers run each
+    /// shard as up to this many rank-contiguous regions, pipelined across
+    /// the worker pool when the graph is a single component, with results
+    /// bit-identical to the unpartitioned Event engine (see
+    /// [`Shard::run_partitioned`]). `Scheduler::Sweep` ignores the knob:
+    /// it is the plain differential oracle.
+    pub partitions: usize,
 }
 
 impl Default for SimConfig {
@@ -98,6 +107,7 @@ impl Default for SimConfig {
             max_cycles: 400_000_000,
             threads: 1,
             scheduler: Scheduler::Event,
+            partitions: 1,
         }
     }
 }
@@ -112,6 +122,12 @@ impl SimConfig {
     /// Returns the config with the given shard execution loop.
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns the config with the per-shard spatial region count set.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
         self
     }
 }
@@ -1801,7 +1817,18 @@ fn make_ctx<'a>(
 
 impl Shard {
     /// Runs this shard to completion (all writers finished) or to an error.
-    fn run(&mut self, shared: &Shared<'_>) -> Result<(), SimError> {
+    ///
+    /// `region_workers` is the thread budget for *intra-shard* region
+    /// parallelism; [`simulate`] passes `cfg.threads` for single-shard
+    /// graphs and `1` when the pool is already spent on shard-level
+    /// parallelism. With `cfg.partitions > 1` the Event and Compiled
+    /// loops are replaced by the spatially partitioned executor (which
+    /// falls back to `run_event`, byte-for-byte, when the plan degenerates
+    /// to one region); the Sweep oracle always runs unpartitioned.
+    fn run(&mut self, shared: &Shared<'_>, region_workers: usize) -> Result<(), SimError> {
+        if shared.cfg.partitions > 1 && shared.cfg.scheduler != Scheduler::Sweep {
+            return self.run_partitioned(shared, region_workers);
+        }
         match shared.cfg.scheduler {
             Scheduler::Event => self.run_event(shared),
             Scheduler::Sweep => self.run_sweep(shared),
@@ -2396,6 +2423,1066 @@ impl Shard {
         self.flops += ctx.flops;
         res
     }
+
+    /// The spatially partitioned execution loop (`cfg.partitions > 1`).
+    ///
+    /// A compile-time pass ([`plan_regions`]) splits the shard's rank
+    /// order into up to `cfg.partitions` balanced contiguous regions; each
+    /// region runs [`Region::burst`] — `run_event`'s loop over its own
+    /// ready sets, calendar queue, and clock — under conservative bounds
+    /// recomputed every round by [`region_exchange`]. Cut channels become
+    /// time-bridged SPSC queues: pushes replay into the reader's region at
+    /// their recorded cycle, pops flow back as credits that replay the
+    /// pop-from-full writer wake at its exact cycle. With
+    /// `region_workers > 1` the rounds run on persistent scoped workers
+    /// separated by two barriers (bursts in parallel, exchange
+    /// serialized on worker 0).
+    ///
+    /// **Bit-identity with `run_event`** (and hence the sweep): regions
+    /// drain whole cycles in ascending local rank, and rank-contiguity
+    /// makes region order = rank order, so the union of all drains
+    /// replays the single-threaded steps in (cycle, rank) order. The
+    /// exchange bounds enforce the three interleaving hazards away:
+    ///
+    /// * a region drains cycle `t` past an upstream bridge's flush
+    ///   frontier only while the bridge channel holds at least
+    ///   [`BRIDGE_LOOKAHEAD`] visible tokens — no node examines an input
+    ///   channel deeper than that in one step, so undelivered in-flight
+    ///   pushes (which all carry cycles at or past the frontier, and
+    ///   append *behind* the visible tokens on arrival) cannot change any
+    ///   step outcome. Below the frontier, arrivals materialize before
+    ///   the drain — exactly when the lower-ranked writer's push would
+    ///   land. Reader pops flow back as `(cycle, pops)` credits that the
+    ///   writer's region consumes lazily as its own clock passes them,
+    ///   keeping the occupancy mirror and the pop-from-full writer wake
+    ///   exact at the writer's local time;
+    /// * a region never drains past the *termination license*, a sound
+    ///   lower bound on the single-threaded completion cycle, so no
+    ///   region executes a cycle the single-threaded engine would not
+    ///   (licensed regions are those that still gate a writer's `Done`);
+    /// * regions holding DRAM-capable unfinished nodes serialize through
+    ///   the frontier-ordered DRAM gate, so shared-channel requests issue
+    ///   in global (cycle, rank) order — the single-threaded arrival
+    ///   order.
+    ///
+    /// Stall classification reproduces `run_event`'s endings exactly: all
+    /// writers finished stops at `max(region clock) + 1`; a global stall
+    /// with no pending event anywhere is the deadlock at `max(region
+    /// clock)` with the same diagnostic (inboxes are provably drained
+    /// then, so reader-side channel lengths equal the single-threaded
+    /// residuals); pending events beyond the budget are `MaxCycles`.
+    /// Under `Scheduler::Compiled` the regions still run event-granularity
+    /// steps (chain fusion is a per-shard whole-graph pass), so the
+    /// compiled-only `fused_*` counters stay zero — a non-semantic
+    /// difference by construction.
+    fn run_partitioned(
+        &mut self,
+        shared: &Shared<'_>,
+        region_workers: usize,
+    ) -> Result<(), SimError> {
+        let n = self.order.len();
+        let mut rank_of = vec![0u32; self.nodes.len()];
+        for (rank, &node) in self.order.iter().enumerate() {
+            rank_of[node] = rank as u32;
+        }
+        let mut edges = Vec::new();
+        for ch in &self.chans {
+            if ch.writer != NO_NODE && ch.reader != NO_NODE {
+                edges.push((
+                    rank_of[ch.writer as usize] as usize,
+                    rank_of[ch.reader as usize] as usize,
+                ));
+            }
+        }
+        let costs: Vec<u64> =
+            self.order.iter().map(|&nd| step_cost(&self.nodes[nd].kind)).collect();
+        let spans = plan_regions(&costs, &edges, shared.cfg.partitions);
+        if spans.len() <= 1 {
+            // Degenerate plan (single-node shard): the stock loops *are*
+            // the partitioned schedule.
+            return match shared.cfg.scheduler {
+                Scheduler::Compiled => self.run_compiled(shared),
+                _ => self.run_event(shared),
+            };
+        }
+        let is_writer_rank: Vec<bool> = self
+            .order
+            .iter()
+            .map(|&nd| {
+                matches!(
+                    self.nodes[nd].kind,
+                    NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. }
+                )
+            })
+            .collect();
+        let reach = reaches_writer(n, &edges, &is_writer_rank);
+        let mut region_of_rank = vec![0usize; n];
+        for (ri, span) in spans.iter().enumerate() {
+            for rank in span.clone() {
+                region_of_rank[rank] = ri;
+            }
+        }
+
+        let n_chans = self.chans.len();
+        let node_count = self.nodes.len();
+        let orig_endpoints: Vec<(u32, u32)> =
+            self.chans.iter().map(|c| (c.writer, c.reader)).collect();
+        let mut chan_slots: Vec<Option<Chan>> = self.chans.drain(..).map(Some).collect();
+        let mut node_slots: Vec<Option<Rt>> = self.nodes.drain(..).map(Some).collect();
+
+        let mut regions: Vec<Region> = spans
+            .iter()
+            .map(|span| {
+                let len = span.len();
+                let mut cur = ReadySet::new(len);
+                for r in 0..len {
+                    cur.insert(r);
+                }
+                Region {
+                    nodes: Vec::with_capacity(len),
+                    chans: Vec::new(),
+                    orig_node: Vec::with_capacity(len),
+                    orig_ports: Vec::with_capacity(len),
+                    orig_chan: Vec::new(),
+                    in_bridges: Vec::new(),
+                    out_bridges: Vec::new(),
+                    dram_nodes: Vec::new(),
+                    cur,
+                    next: ReadySet::new(len),
+                    wakes: WakeQueue::new(len),
+                    now: 0,
+                    cur_pending: true,
+                    writer_live: Vec::with_capacity(len),
+                    live_writers: 0,
+                    flops: 0,
+                    counters: SchedCounters::default(),
+                    allowed: 0,
+                    license: 0,
+                    use_shared_dram: false,
+                }
+            })
+            .collect();
+
+        // Distribute channels: internal ones move whole; a cut channel
+        // becomes the channel proper on the reader side plus an occupancy
+        // mirror on the writer side, linked by a bridge record.
+        let mut reader_local = vec![usize::MAX; n_chans];
+        let mut writer_local = vec![usize::MAX; n_chans];
+        for (cid, slot) in chan_slots.iter_mut().enumerate() {
+            let ch = slot.take().expect("channel moved twice");
+            debug_assert!(
+                ch.writer != NO_NODE && ch.reader != NO_NODE,
+                "graph channels have both endpoints"
+            );
+            let w_rank = rank_of[ch.writer as usize] as usize;
+            let r_rank = rank_of[ch.reader as usize] as usize;
+            let (wr, rr) = (region_of_rank[w_rank], region_of_rank[r_rank]);
+            let w_local = (w_rank - spans[wr].start) as u32;
+            let r_local = (r_rank - spans[rr].start) as u32;
+            if wr == rr {
+                let r = &mut regions[wr];
+                let id = r.chans.len();
+                r.chans.push(Chan { buf: ch.buf, cap: ch.cap, reader: r_local, writer: w_local });
+                r.orig_chan.push(Some(cid));
+                reader_local[cid] = id;
+                writer_local[cid] = id;
+            } else {
+                debug_assert!(wr < rr, "cut channels must flow forward in rank order");
+                debug_assert!(ch.buf.is_empty(), "fresh shard channels start empty");
+                let rin = regions[rr].chans.len();
+                regions[rr].chans.push(Chan {
+                    buf: VecDeque::new(),
+                    cap: ch.cap,
+                    reader: r_local,
+                    writer: NO_NODE,
+                });
+                regions[rr].orig_chan.push(Some(cid));
+                reader_local[cid] = rin;
+                let rout = regions[wr].chans.len();
+                regions[wr].chans.push(Chan {
+                    buf: ch.buf,
+                    cap: ch.cap,
+                    reader: NO_NODE,
+                    writer: w_local,
+                });
+                regions[wr].orig_chan.push(None);
+                writer_local[cid] = rout;
+                let in_idx = regions[rr].in_bridges.len();
+                let out_idx = regions[wr].out_bridges.len();
+                regions[rr].in_bridges.push(InBridge {
+                    chan: rin,
+                    inbox: VecDeque::new(),
+                    len_at_start: 0,
+                    credits: Vec::new(),
+                    src_region: wr,
+                    src_out: out_idx,
+                    flushed_src: 0,
+                });
+                regions[wr].out_bridges.push(OutBridge {
+                    chan: rout,
+                    outbox: Vec::new(),
+                    seen_len: 0,
+                    push_cycles: VecDeque::new(),
+                    acks: VecDeque::new(),
+                    done_sent: false,
+                    feeds_writer: reach[r_rank],
+                    dst_region: rr,
+                    dst_in: in_idx,
+                    dst_done_to: 0,
+                });
+            }
+        }
+
+        // Move nodes into regions in rank order (local node id = local
+        // rank), ports remapped to region-local channel ids.
+        for (ri, span) in spans.iter().enumerate() {
+            for rank in span.clone() {
+                let nd = self.order[rank];
+                let mut rt = node_slots[nd].take().expect("node moved twice");
+                let orig_in = rt.in_chans.clone();
+                let orig_out = rt.out_chans.clone();
+                for id in rt.in_chans.iter_mut().flatten() {
+                    *id = reader_local[*id];
+                }
+                for port in rt.out_chans.iter_mut() {
+                    for id in port.iter_mut() {
+                        *id = writer_local[*id];
+                    }
+                }
+                let r = &mut regions[ri];
+                let live = is_writer_rank[rank] && !rt.finished();
+                r.writer_live.push(live);
+                if live {
+                    r.live_writers += 1;
+                }
+                if dram_capable(&rt.kind, shared) {
+                    r.dram_nodes.push(r.nodes.len());
+                }
+                r.orig_node.push(nd);
+                r.orig_ports.push((orig_in, orig_out));
+                r.nodes.push(rt);
+            }
+        }
+
+        // Round loop: exchange, then one burst per region, repeat.
+        let mut control = PartControl { stop: None, fail: None, bridge_tokens: 0 };
+        let workers = region_workers.clamp(1, regions.len());
+        if workers == 1 {
+            let mut dummy = Dram::new(1.0, 0, 0);
+            let mut refs: Vec<&mut Region> = regions.iter_mut().collect();
+            loop {
+                region_exchange(&mut refs, &mut control, shared.cfg);
+                if control.stop.is_some() {
+                    break;
+                }
+                for (ri, r) in refs.iter_mut().enumerate() {
+                    let res = if r.use_shared_dram {
+                        r.burst(shared, &mut self.dram)
+                    } else {
+                        let res = r.burst(shared, &mut dummy);
+                        debug_assert_eq!(
+                            dummy.read_bytes() + dummy.write_bytes(),
+                            0,
+                            "non-DRAM region issued a memory request"
+                        );
+                        res
+                    };
+                    if let Err(e) = res {
+                        if control.fail.is_none() {
+                            control.fail = Some((ri, e));
+                        }
+                    }
+                }
+            }
+        } else {
+            let shard_dram =
+                std::sync::Mutex::new(std::mem::replace(&mut self.dram, Dram::new(1.0, 0, 0)));
+            let mutexes: Vec<std::sync::Mutex<Region>> =
+                regions.into_iter().map(std::sync::Mutex::new).collect();
+            let controlm = std::sync::Mutex::new(control);
+            let stop_flag = std::sync::atomic::AtomicBool::new(false);
+            let barrier = SpinBarrier::new(workers);
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let (mutexes, controlm, barrier, shard_dram, stop_flag) =
+                        (&mutexes, &controlm, &barrier, &shard_dram, &stop_flag);
+                    s.spawn(move || {
+                        let mut dummy = Dram::new(1.0, 0, 0);
+                        loop {
+                            if w == 0 {
+                                let mut guards: Vec<_> =
+                                    mutexes.iter().map(|m| m.lock().unwrap()).collect();
+                                let mut refs: Vec<&mut Region> =
+                                    guards.iter_mut().map(|g| &mut **g).collect();
+                                let mut ctl = controlm.lock().unwrap();
+                                region_exchange(&mut refs, &mut ctl, shared.cfg);
+                                if ctl.stop.is_some() {
+                                    stop_flag.store(true, std::sync::atomic::Ordering::Release);
+                                }
+                            }
+                            barrier.wait();
+                            if stop_flag.load(std::sync::atomic::Ordering::Acquire) {
+                                break;
+                            }
+                            for ri in (w..mutexes.len()).step_by(workers) {
+                                let mut r = mutexes[ri].lock().unwrap();
+                                let res = if r.use_shared_dram {
+                                    // Uncontended by the DRAM-order gate:
+                                    // at most one region per round.
+                                    let mut d = shard_dram.lock().unwrap();
+                                    r.burst(shared, &mut d)
+                                } else {
+                                    let res = r.burst(shared, &mut dummy);
+                                    debug_assert_eq!(
+                                        dummy.read_bytes() + dummy.write_bytes(),
+                                        0,
+                                        "non-DRAM region issued a memory request"
+                                    );
+                                    res
+                                };
+                                if let Err(e) = res {
+                                    let mut ctl = controlm.lock().unwrap();
+                                    match &ctl.fail {
+                                        Some((i, _)) if *i <= ri => {}
+                                        _ => ctl.fail = Some((ri, e)),
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+            regions = mutexes.into_iter().map(|m| m.into_inner().unwrap()).collect();
+            self.dram = shard_dram.into_inner().unwrap();
+            control = controlm.into_inner().unwrap();
+        }
+
+        // Write regions back into the shard: nodes at their original
+        // indices with original port tables, channels at their original
+        // ids (reader side of each bridge) with original back-pointers.
+        let stop = control.stop.take().expect("round loop exits only on a stop");
+        let max_now = regions.iter().map(|r| r.now).max().unwrap_or(0);
+        self.sched.partition_regions += regions.len() as u64;
+        self.sched.bridge_tokens += control.bridge_tokens;
+        let mut nodes_back: Vec<Option<Rt>> = (0..node_count).map(|_| None).collect();
+        let mut chans_back: Vec<Option<Chan>> = (0..n_chans).map(|_| None).collect();
+        for r in regions {
+            self.flops += r.flops;
+            self.sched.merge(&r.counters);
+            for ((mut rt, orig), (in_c, out_c)) in
+                r.nodes.into_iter().zip(r.orig_node).zip(r.orig_ports)
+            {
+                rt.in_chans = in_c;
+                rt.out_chans = out_c;
+                nodes_back[orig] = Some(rt);
+            }
+            for (mut ch, orig) in r.chans.into_iter().zip(r.orig_chan) {
+                if let Some(cid) = orig {
+                    (ch.writer, ch.reader) = orig_endpoints[cid];
+                    chans_back[cid] = Some(ch);
+                }
+            }
+        }
+        self.nodes = nodes_back.into_iter().map(|s| s.expect("every node restored")).collect();
+        self.chans = chans_back.into_iter().map(|s| s.expect("every channel restored")).collect();
+
+        match stop {
+            PartStop::AllWritersDone => {
+                self.now = max_now + 1;
+                Ok(())
+            }
+            PartStop::Deadlock => {
+                self.now = max_now;
+                let detail = deadlock_detail(&self.nodes, &self.chans);
+                Err(SimError::Deadlock { cycle: max_now, detail })
+            }
+            PartStop::Budget => {
+                self.now = max_now;
+                Err(SimError::MaxCycles(shared.cfg.max_cycles))
+            }
+            PartStop::Fail(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned executor (SimConfig::partitions)
+// ---------------------------------------------------------------------------
+
+/// The deepest look a single node step can take into one input channel:
+/// `act_repeat` peeks (and pops) up to two tokens from its base port;
+/// every other action examines only the front token. A reader region may
+/// therefore drain a cycle past an upstream flush frontier whenever this
+/// many tokens are visible on the bridge channel — any in-flight push
+/// would append behind them and cannot change the step's outcome.
+const BRIDGE_LOOKAHEAD: usize = 2;
+
+/// Reader-side endpoint of a time-bridged cut channel. The region-local
+/// channel (`chan`) plays the single-threaded channel's role for the
+/// reader: tokens at or below the upstream flush frontier are materialized
+/// into it at exactly the cycle the writer pushed them; beyond the
+/// frontier the reader keeps draining off buffered tokens (see
+/// [`BRIDGE_LOOKAHEAD`]) and late arrivals simply append. Pops are
+/// reported back to the writer's region as `(cycle, pops)` credits.
+struct InBridge {
+    /// Region-local channel id (writer back-pointer is [`NO_NODE`]).
+    chan: usize,
+    /// Delivered but not yet materialized `(push cycle, token)` entries.
+    inbox: VecDeque<(u64, Token)>,
+    /// Channel length right after materialization this cycle (credit base).
+    len_at_start: usize,
+    /// Pops recorded this burst: `(cycle, pops)`.
+    credits: Vec<(u64, u32)>,
+    /// Owning region of the writer endpoint.
+    src_region: usize,
+    /// Index of the peer [`OutBridge`] in that region.
+    src_out: usize,
+    /// Exchange-set flush frontier of the writer's region (exclusive):
+    /// cycles `< flushed_src` have every upstream push delivered; draining
+    /// at or past it requires [`BRIDGE_LOOKAHEAD`] visible tokens.
+    flushed_src: u64,
+}
+
+/// Writer-side endpoint of a time-bridged cut channel. The region-local
+/// channel retains pushed tokens for occupancy (backpressure) until the
+/// reader's credits pop them; pushes are recorded with their cycle and
+/// shipped to the reader's inbox at the next exchange.
+struct OutBridge {
+    /// Region-local channel id (reader back-pointer is [`NO_NODE`]).
+    chan: usize,
+    /// Pushes not yet shipped: `(push cycle, token)`.
+    outbox: Vec<(u64, Token)>,
+    /// Channel length at the last bookkeeping point (push detection).
+    seen_len: usize,
+    /// Push cycle of every token still in the occupancy mirror (parallel
+    /// to the mirror channel's buffer, FIFO).
+    push_cycles: VecDeque<u64>,
+    /// Received reader credits not yet consumed: `(pop cycle, pops)`,
+    /// strictly increasing in cycle. A credit is consumed only once this
+    /// region's clock passes its pop cycle, so the mirror's occupancy (and
+    /// the pop-from-full writer wake, recomputed here from `push_cycles`)
+    /// stays exact at the writer's local time even when the reader has
+    /// drained far ahead off buffered tokens.
+    acks: VecDeque<(u64, u32)>,
+    /// Whether the stream-terminating [`Token::Done`] has been pushed.
+    done_sent: bool,
+    /// Whether any writer node is statically reachable from the reader
+    /// (termination-license term; see [`Shard::run_partitioned`]).
+    feeds_writer: bool,
+    /// Owning region of the reader endpoint.
+    dst_region: usize,
+    /// Index of the peer [`InBridge`] in that region.
+    dst_in: usize,
+    /// Exchange snapshot of the reader region's flush frontier: every
+    /// reader pop below it is already credited, and future pops land at
+    /// or past it. While the mirror channel is at capacity, the writer
+    /// may only drain cycles `<=` this (its occupancy view is exact
+    /// through it).
+    dst_done_to: u64,
+}
+
+/// A node's original `(in_chans, out_chans)` port tables, restored on
+/// write-back.
+type PortTables = (Vec<Option<usize>>, Vec<Vec<usize>>);
+
+/// One rank-contiguous span of a shard running as its own event-scheduler
+/// instance: private ready sets, calendar queue, and clock. Local node ids
+/// equal local ranks (nodes are stored in rank order).
+struct Region {
+    nodes: Vec<Rt>,
+    chans: Vec<Chan>,
+    /// Local node id -> original shard node id (write-back map).
+    orig_node: Vec<usize>,
+    /// Local node id -> original `(in_chans, out_chans)` (restored on
+    /// write-back so shard-level diagnostics see original channel ids).
+    orig_ports: Vec<PortTables>,
+    /// Local chan id -> original shard chan id; `None` for the writer-side
+    /// mirror of a cut channel (the reader side owns the original id).
+    orig_chan: Vec<Option<usize>>,
+    in_bridges: Vec<InBridge>,
+    out_bridges: Vec<OutBridge>,
+    /// Local node ids that can issue DRAM requests (static; see
+    /// [`dram_capable`]).
+    dram_nodes: Vec<usize>,
+    cur: ReadySet,
+    next: ReadySet,
+    wakes: WakeQueue,
+    /// Last cycle whose ready set was (or is being) drained.
+    now: u64,
+    /// True while `cur` holds cycle `now` not yet drained.
+    cur_pending: bool,
+    writer_live: Vec<bool>,
+    live_writers: usize,
+    flops: u64,
+    counters: SchedCounters,
+    /// Exchange-computed bound (exclusive): the next burst may only drain
+    /// cycles `< allowed` (folds upstream flush frontiers, the DRAM-order
+    /// gate, and `max_cycles`).
+    allowed: u64,
+    /// Exchange-computed termination license, exclusive (see the protocol
+    /// notes in [`region_exchange`]).
+    license: u64,
+    /// Whether this burst must use the shard's real DRAM channel.
+    use_shared_dram: bool,
+}
+
+/// Whether a node kind can ever call `Dram::request`, given the location
+/// tables. This mirrors the request sites in `act_scan` (compressed level
+/// of a DRAM-resident tensor), `act_array` (DRAM-resident tensor), and
+/// `act_writer` (DRAM-resident output) exactly.
+fn dram_capable(kind: &NodeKind, shared: &Shared<'_>) -> bool {
+    match kind {
+        NodeKind::LevelScanner { tensor, level } => {
+            shared.tensor_locs[*tensor] == MemLocation::Dram
+                && matches!(shared.tensors[*tensor].level(*level), Level::Compressed { .. })
+        }
+        NodeKind::Array { tensor } => shared.tensor_locs[*tensor] == MemLocation::Dram,
+        NodeKind::CrdWriter { output, .. } => shared.output_locs[*output] == MemLocation::Dram,
+        NodeKind::ValWriter { output } => shared.output_locs[*output] == MemLocation::Dram,
+        _ => false,
+    }
+}
+
+/// Why the partitioned round loop stopped.
+enum PartStop {
+    /// Every writer finished: the clean termination `run_event` reaches.
+    AllWritersDone,
+    /// No region holds any pending event (deadlock at `max(region now)`).
+    Deadlock,
+    /// Every pending event lies beyond `cfg.max_cycles`.
+    Budget,
+    /// A node step failed (lowest region index wins, deterministically).
+    Fail(SimError),
+}
+
+/// A sense-reversing barrier that spins briefly and then yields instead
+/// of parking on a condvar. Partitioned rounds are short (tens of
+/// microseconds of burst work between two barrier crossings), so the
+/// hundreds-of-microseconds wake latency of `std::sync::Barrier`'s
+/// condvar dominates wall-clock; spinning costs nanoseconds when a core
+/// is free and degrades to `yield_now` timeslice handoff when
+/// oversubscribed.
+struct SpinBarrier {
+    arrived: std::sync::atomic::AtomicUsize,
+    generation: std::sync::atomic::AtomicUsize,
+    n: usize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            arrived: std::sync::atomic::AtomicUsize::new(0),
+            generation: std::sync::atomic::AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    /// Blocks until all `n` threads have called `wait` for this
+    /// generation. Release/acquire pairs on both counters make every
+    /// write before any thread's `wait` visible to every thread after.
+    fn wait(&self) {
+        use std::sync::atomic::Ordering;
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Release);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Cross-round coordination state (guarded by one mutex when threaded).
+struct PartControl {
+    stop: Option<PartStop>,
+    fail: Option<(usize, SimError)>,
+    bridge_tokens: u64,
+}
+
+impl Region {
+    /// The next cycle this region has local work for: the pending ready
+    /// set, next-cycle ready set, earliest calendar wake, earliest
+    /// unmaterialized bridge arrival, or earliest pending pop-from-full
+    /// writer wake held in an out-bridge's credit queue. `u64::MAX` =
+    /// idle.
+    fn next_event(&self) -> u64 {
+        if self.cur_pending {
+            return self.now;
+        }
+        let mut t = u64::MAX;
+        if !self.next.is_empty() {
+            t = self.now + 1;
+        }
+        if let Some(w) = self.wakes.next_time(self.now) {
+            t = t.min(w);
+        }
+        for ib in &self.in_bridges {
+            if let Some(&(c, _)) = ib.inbox.front() {
+                t = t.min(c);
+            }
+        }
+        for ob in &self.out_bridges {
+            if let Some(w) = self.ack_wake_time(ob) {
+                t = t.min(w);
+            }
+        }
+        t
+    }
+
+    /// Earliest pop-from-full writer wake among `ob`'s unconsumed credits:
+    /// replays the credit consumption prospectively (in order, without
+    /// mutating) and returns `pop cycle + 1` for the first pop that found
+    /// the true channel at capacity — the channel held `cap` tokens all
+    /// pushed at or before the pop cycle.
+    fn ack_wake_time(&self, ob: &OutBridge) -> Option<u64> {
+        let cap = self.chans[ob.chan].cap;
+        let mut consumed = 0usize;
+        for &(p, pops) in &ob.acks {
+            let unacked = ob.push_cycles.len() - consumed;
+            if unacked < cap {
+                // `consumed` only grows along the scan, so occupancy can
+                // never climb back to capacity: no later ack qualifies.
+                break;
+            }
+            if ob.push_cycles[consumed + cap - 1] <= p {
+                return Some(p + 1);
+            }
+            consumed += pops as usize;
+        }
+        None
+    }
+
+    /// Consumes every credit whose pop cycle the region clock has passed:
+    /// pops the occupancy mirror (the reader really held those tokens
+    /// before this clock cycle) and replays the single-threaded
+    /// pop-from-full writer wake. A full pop at cycle `p` always wakes the
+    /// writer at `p + 1 == now` with the cycle still pending — the burst
+    /// gate never lets a writer run past a frontier that could owe it a
+    /// wake — so the wake is a plain ready-set insert.
+    fn consume_acks(&mut self) {
+        for ob in self.out_bridges.iter_mut() {
+            while let Some(&(p, pops)) = ob.acks.front() {
+                if p + 1 > self.now {
+                    break;
+                }
+                let ch = &mut self.chans[ob.chan];
+                let was_full = ob.push_cycles.len() >= ch.cap && ob.push_cycles[ch.cap - 1] <= p;
+                ob.acks.pop_front();
+                for _ in 0..pops {
+                    let popped = ch.buf.pop_front();
+                    debug_assert!(popped.is_some(), "credit for a token the mirror never held");
+                    ob.push_cycles.pop_front();
+                }
+                debug_assert_eq!(ob.push_cycles.len(), ch.buf.len(), "mirror ledgers in sync");
+                ob.seen_len = ch.buf.len();
+                if was_full {
+                    debug_assert!(
+                        p + 1 == self.now && self.cur_pending,
+                        "pop-from-full wake for an already-drained writer cycle"
+                    );
+                    self.cur.insert(ch.writer as usize);
+                }
+            }
+        }
+    }
+
+    /// Whether the region currently holds its own termination-license
+    /// term: a live local writer, or an unterminated out-bridge whose
+    /// reader can reach a writer. Such a region is licensed to its own
+    /// frontier and may run ahead without a fresh global license.
+    fn self_licensed(&self) -> bool {
+        self.live_writers > 0 || self.out_bridges.iter().any(|ob| ob.feeds_writer && !ob.done_sent)
+    }
+
+    /// Whether the region can issue DRAM requests right now.
+    fn dram_active(&self) -> bool {
+        self.dram_nodes.iter().any(|&i| !self.nodes[i].done)
+    }
+
+    /// Runs this region's event loop as far as the exchange-computed
+    /// bounds permit. Each drained cycle replays exactly the steps the
+    /// unpartitioned engine performs for these ranks at that cycle: bridge
+    /// arrivals are materialized into the local channel at their recorded
+    /// push cycle (before the drain, matching the single-threaded order in
+    /// which the lower-ranked writer pushes before the reader steps), and
+    /// the drain itself is `run_event`'s inner loop verbatim.
+    fn burst(&mut self, shared: &Shared<'_>, dram: &mut Dram) -> Result<(), SimError> {
+        loop {
+            // The next cycle to drain, and the gates that may forbid it.
+            let target = if self.cur_pending { self.now } else { self.next_event() };
+            if target == u64::MAX {
+                return Ok(()); // idle: nothing queued anywhere
+            }
+            let mut bound = self.allowed;
+            if !self.self_licensed() {
+                bound = bound.min(self.license);
+            }
+            for ob in &self.out_bridges {
+                let ch = &self.chans[ob.chan];
+                if ch.buf.len() >= ch.cap {
+                    // Full occupancy mirror: the reader's earliest
+                    // unreported future pop is at or after its flush
+                    // frontier, freeing space one cycle later — so a
+                    // blocked push outcome is only certain for cycles up
+                    // to that frontier.
+                    bound = bound.min(ob.dst_done_to.saturating_add(1));
+                }
+            }
+            let mut stalled = target >= bound;
+            if !stalled {
+                for ib in &self.in_bridges {
+                    if target < ib.flushed_src {
+                        continue; // every push for `target` is delivered
+                    }
+                    // Past the upstream frontier, in-flight pushes may
+                    // exist — but they all carry cycles >= the frontier
+                    // and append behind the visible tokens, so draining
+                    // stays exact while a step's deepest possible look
+                    // into the channel is covered by what is visible now
+                    // (buffered plus inbox entries due by `target`).
+                    let mut avail = self.chans[ib.chan].buf.len();
+                    for &(c, _) in ib.inbox.iter() {
+                        if c > target || avail >= BRIDGE_LOOKAHEAD {
+                            break;
+                        }
+                        avail += 1;
+                    }
+                    if avail < BRIDGE_LOOKAHEAD {
+                        stalled = true;
+                        break;
+                    }
+                }
+            }
+            if stalled {
+                self.counters.frontier_stalls += 1;
+                return Ok(());
+            }
+
+            if !self.cur_pending {
+                self.counters.cycles_skipped += target - self.now - 1;
+                self.now = target;
+                std::mem::swap(&mut self.cur, &mut self.next);
+                self.wakes.drain_at(self.now, &mut self.cur);
+                self.cur_pending = true;
+                self.consume_acks();
+            }
+
+            // Materialize bridge arrivals for this cycle: a direct buffer
+            // push (the token was already counted by its producer's flush)
+            // plus the reader wake every push raises.
+            for ib in self.in_bridges.iter_mut() {
+                while let Some(&(c, _)) = ib.inbox.front() {
+                    debug_assert!(c >= self.now, "bridge arrival for an already-drained cycle");
+                    if c > self.now {
+                        break;
+                    }
+                    let (_, tok) = ib.inbox.pop_front().expect("peeked entry");
+                    let ch = &mut self.chans[ib.chan];
+                    ch.buf.push_back(tok);
+                    self.cur.insert(ch.reader as usize);
+                }
+                ib.len_at_start = self.chans[ib.chan].buf.len();
+            }
+
+            // Drain the cycle in ascending local rank (local node id =
+            // local rank), mirroring `run_event`.
+            let mut ctx = make_ctx(&mut self.chans, dram, shared, self.now);
+            let mut stepped = 0u64;
+            let mut pos = 0;
+            let mut res = Ok(());
+            while let Some(rank) = self.cur.pop_ge(pos) {
+                pos = rank;
+                let outcome = match self.nodes[rank].step(&mut ctx) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        res = Err(e);
+                        break;
+                    }
+                };
+                stepped += 1;
+                for k in 0..ctx.wakes.len() {
+                    let w = ctx.wakes[k] as usize;
+                    if w > rank {
+                        self.cur.insert(w);
+                    } else {
+                        self.next.insert(w);
+                    }
+                }
+                ctx.wakes.clear();
+                match outcome {
+                    StepOutcome::Progressed => self.next.insert(rank),
+                    StepOutcome::SleepingUntil(t) => self.wakes.schedule(ctx.now, t, rank as u32),
+                    StepOutcome::BlockedInput
+                    | StepOutcome::BlockedOutput
+                    | StepOutcome::Finished => {}
+                }
+                if self.writer_live[rank] && self.nodes[rank].finished() {
+                    self.writer_live[rank] = false;
+                    self.live_writers -= 1;
+                }
+            }
+            self.flops += ctx.flops;
+            res?;
+            self.counters.events += stepped;
+            self.counters.peak_ready = self.counters.peak_ready.max(stepped);
+            self.cur_pending = false;
+
+            // Bridge bookkeeping for the drained cycle: reader pops become
+            // credits, writer pushes (at most one per channel per cycle)
+            // are recorded for delivery.
+            for ib in self.in_bridges.iter_mut() {
+                let ch = &self.chans[ib.chan];
+                if ch.buf.len() < ib.len_at_start {
+                    let pops = (ib.len_at_start - ch.buf.len()) as u32;
+                    ib.credits.push((self.now, pops));
+                }
+            }
+            for ob in self.out_bridges.iter_mut() {
+                let ch = &self.chans[ob.chan];
+                if ch.buf.len() > ob.seen_len {
+                    debug_assert_eq!(ch.buf.len(), ob.seen_len + 1, "one push per chan per cycle");
+                    let tok = ch.buf.back().expect("non-empty after push").clone();
+                    if matches!(tok, Token::Done) {
+                        ob.done_sent = true;
+                    }
+                    ob.outbox.push((self.now, tok));
+                    ob.push_cycles.push_back(self.now);
+                    ob.seen_len = ch.buf.len();
+                }
+            }
+        }
+    }
+}
+
+/// Delivers outboxes and credits, recomputes every region's flush
+/// frontier (one forward pass over the region DAG), refreshes the
+/// per-region burst bounds, and classifies a global stall. Runs with
+/// exclusive access to every region (worker 0 between barriers, or the
+/// plain sequential loop).
+fn region_exchange(regions: &mut [&mut Region], control: &mut PartControl, cfg: &SimConfig) {
+    if let Some((_, e)) = control.fail.take() {
+        control.stop = Some(PartStop::Fail(e));
+        return;
+    }
+    let k = regions.len();
+
+    // Ship outboxes to inboxes and queue reader credits on the writer-side
+    // bridges. Arrivals for cycles the reader already drained (it ran
+    // ahead off buffered tokens) materialize immediately — append-only,
+    // matching where they would sit behind the tokens the reader saw;
+    // arrivals for the still-pending cycle wake the reader like any push.
+    // Credits are consumed lazily by [`Region::consume_acks`] as the
+    // writer's clock passes each pop cycle; the prefix already behind the
+    // clock is consumed here so burst gates and `next_event` see one
+    // consistent mirror state.
+    // (dst_region, dst_in_bridge, records) / (src_region, src_out_bridge,
+    // credits) taken from every bridge before redistribution.
+    type Deliveries = Vec<(usize, usize, Vec<(u64, Token)>)>;
+    type CreditLists = Vec<(usize, usize, Vec<(u64, u32)>)>;
+    let mut deliveries: Deliveries = Vec::new();
+    let mut credit_lists: CreditLists = Vec::new();
+    for r in regions.iter_mut() {
+        for ob in r.out_bridges.iter_mut() {
+            if !ob.outbox.is_empty() {
+                deliveries.push((ob.dst_region, ob.dst_in, std::mem::take(&mut ob.outbox)));
+            }
+        }
+        for ib in r.in_bridges.iter_mut() {
+            if !ib.credits.is_empty() {
+                credit_lists.push((ib.src_region, ib.src_out, std::mem::take(&mut ib.credits)));
+            }
+        }
+    }
+    for (dr, di, msgs) in deliveries {
+        control.bridge_tokens += msgs.len() as u64;
+        let r = &mut *regions[dr];
+        let ib = &mut r.in_bridges[di];
+        ib.inbox.extend(msgs);
+        while let Some(&(c, _)) = ib.inbox.front() {
+            if c > r.now || (c == r.now && r.cur_pending) {
+                break; // burst materializes these at their cycle
+            }
+            let (_, tok) = ib.inbox.pop_front().expect("peeked entry");
+            r.chans[ib.chan].buf.push_back(tok);
+        }
+    }
+    for (sr, so, credits) in credit_lists {
+        let r = &mut *regions[sr];
+        r.out_bridges[so].acks.extend(credits);
+        r.consume_acks();
+    }
+
+    // Flush frontiers. `flushed[r]` (exclusive) = region r has simulated
+    // every cycle `< flushed[r]`, its pushes for those cycles are already
+    // delivered (or in this exchange), and every cycle it will simulate in
+    // the future is `>= flushed[r]`. Future simulation is bounded by the
+    // region's own next event, by events that future bridge arrivals can
+    // create (at or past each upstream frontier), and — when one of its
+    // out-bridge mirrors is at capacity — by the pop-from-full writer
+    // wake a future reader pop can create, at or past the reader's
+    // frontier plus one. (The reader's *next event* is not a sound pop
+    // bound here: a cascade from one of its other in-bridges can wake
+    // the reader below it.) The mirror term points backward, so this is
+    // a decreasing fixpoint rather than one forward pass.
+    //
+    // Every term is additionally clamped from below by the region's own
+    // clock: a region's simulation time is monotone (late bridge
+    // arrivals append to the channel without creating steps in the
+    // past), so no future simulated cycle — and hence no future push,
+    // pop, or DRAM request — can land below the cycle it is currently
+    // draining. Without this floor the in-bridge and mirror terms chase
+    // each other in a circle (writer full-gated on the reader's
+    // frontier, the reader's frontier dragged back down to the writer's
+    // by its arrival term), pinning every frontier to the *trailing*
+    // clock and collapsing a backpressured pipeline into cycle-sized
+    // lockstep rounds; the clock floor is what lets a region that has
+    // already drained far ahead advertise that fact.
+    //
+    // Note the frontier does NOT gate how far a *reader* drains:
+    // readers drain past it off buffered tokens (the
+    // [`BRIDGE_LOOKAHEAD`] relaxation), and only the delivery-exactness
+    // of cycles below it is promised here.
+    let fcap = cfg.max_cycles.saturating_add(2);
+    let te: Vec<u64> = regions.iter().map(|r| r.next_event()).collect();
+    let floor: Vec<u64> =
+        regions.iter().map(|r| if r.cur_pending { r.now } else { r.now + 1 }).collect();
+    let mut flushed: Vec<u64> = te.iter().map(|&t| t.min(fcap)).collect();
+    loop {
+        let mut changed = false;
+        for ri in 0..k {
+            let mut v = flushed[ri];
+            for ib in &regions[ri].in_bridges {
+                v = v.min(flushed[ib.src_region]);
+            }
+            for ob in &regions[ri].out_bridges {
+                let ch = &regions[ri].chans[ob.chan];
+                if ch.buf.len() >= ch.cap {
+                    v = v.min(flushed[ob.dst_region].saturating_add(1));
+                }
+            }
+            let v = v.max(floor[ri]);
+            if v < flushed[ri] {
+                flushed[ri] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Termination license: the single-threaded run keeps executing at
+    // least until every writer finishes, and a writer cannot finish before
+    // (a) its own region's flush frontier, or (b) the frontier of any
+    // bridge that still owes it a `Done` (every node forwards `Done` only
+    // at-or-after consuming its inputs' `Done`s, and a future `Done` push
+    // happens at a cycle at or past its sender's frontier). Bound (b)
+    // needs no dynamic liveness: if all reachable writers had finished,
+    // the `Done` would already have crossed the bridge. Exclusive form:
+    // cycles up to and including the max licensed frontier are provably at
+    // or below the termination cycle.
+    let mut license = 0u64;
+    for (ri, r) in regions.iter().enumerate() {
+        if r.self_licensed() {
+            license = license.max(flushed[ri].saturating_add(1));
+        }
+    }
+
+    // Per-region burst bounds (exclusive). Upstream-delivery gating is
+    // per-bridge and dynamic (strict below the frontier, buffered-token
+    // relaxation past it — see the burst gate), so `allowed` folds only
+    // the global terms.
+    let dram_active: Vec<bool> = regions.iter().map(|r| r.dram_active()).collect();
+    for ri in 0..k {
+        let mut a = cfg.max_cycles.saturating_add(1);
+        if dram_active[ri] {
+            // The shard's DRAM channel serializes requests in arrival
+            // order = global (cycle, rank) order. Let only the region
+            // whose frontier trails issue: against a lower-ranked DRAM
+            // region t < flushed (its same-cycle requests go first),
+            // against a higher-ranked one t <= flushed. The (frontier,
+            // index) tie-break means at most one DRAM-active region
+            // clears both per round.
+            for rj in 0..k {
+                if rj != ri && dram_active[rj] {
+                    a = a.min(if rj < ri { flushed[rj] } else { flushed[rj].saturating_add(1) });
+                }
+            }
+        }
+        let r = &mut *regions[ri];
+        r.allowed = a;
+        r.license = license;
+        r.use_shared_dram = dram_active[ri];
+        for ob in r.out_bridges.iter_mut() {
+            ob.dst_done_to = flushed[ob.dst_region];
+        }
+        for ib in r.in_bridges.iter_mut() {
+            ib.flushed_src = flushed[ib.src_region];
+        }
+    }
+
+    // Global stall classification: if no region can drain a cycle under
+    // the refreshed bounds, the round loop is finished. This replicates
+    // the burst gate exactly (a burst's first target is its next event).
+    let mut any_runnable = false;
+    'regions: for (ri, r) in regions.iter().enumerate() {
+        if te[ri] == u64::MAX {
+            continue;
+        }
+        let mut bound = r.allowed;
+        if !r.self_licensed() {
+            bound = bound.min(license);
+        }
+        for ob in &r.out_bridges {
+            let ch = &r.chans[ob.chan];
+            if ch.buf.len() >= ch.cap {
+                bound = bound.min(ob.dst_done_to.saturating_add(1));
+            }
+        }
+        if te[ri] >= bound {
+            continue;
+        }
+        for ib in &r.in_bridges {
+            if te[ri] < ib.flushed_src {
+                continue;
+            }
+            let mut avail = r.chans[ib.chan].buf.len();
+            for &(c, _) in ib.inbox.iter() {
+                if c > te[ri] || avail >= BRIDGE_LOOKAHEAD {
+                    break;
+                }
+                avail += 1;
+            }
+            if avail < BRIDGE_LOOKAHEAD {
+                continue 'regions;
+            }
+        }
+        any_runnable = true;
+        break;
+    }
+    if !any_runnable {
+        let live: usize = regions.iter().map(|r| r.live_writers).sum();
+        control.stop = Some(if live == 0 {
+            PartStop::AllWritersDone
+        } else if te.iter().all(|&t| t == u64::MAX) {
+            PartStop::Deadlock
+        } else {
+            debug_assert!(
+                te.iter().filter(|&&t| t != u64::MAX).all(|&t| t > cfg.max_cycles),
+                "partitioned executor stalled with runnable events below the budget"
+            );
+            PartStop::Budget
+        });
+    }
 }
 
 fn deadlock_detail(nodes: &[Rt], chans: &[Chan]) -> String {
@@ -2626,8 +3713,10 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
         Shared { tensors: &tensors, tensor_locs: &tensor_locs, output_locs: &output_locs, cfg };
     if cfg.threads > 1 && shards.len() > 1 {
         let shared_ref = &shared;
+        // The pool is spent on shard-level parallelism; regions (if any)
+        // run sequentially inside each shard worker.
         let ran = parallel_map(cfg.threads, shards, |mut shard| {
-            let res = shard.run(shared_ref);
+            let res = shard.run(shared_ref, 1);
             (shard, res)
         });
         let mut first_err = Ok(());
@@ -2645,7 +3734,7 @@ pub fn simulate(graph: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> Result<Si
         first_err?;
     } else {
         for shard in &mut shards {
-            shard.run(&shared)?;
+            shard.run(&shared, cfg.threads)?;
         }
     }
 

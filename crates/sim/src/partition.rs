@@ -1,0 +1,220 @@
+//! Compile-time spatial partitioning for the intra-shard pipelined
+//! executor (`SimConfig::partitions`).
+//!
+//! [`plan_regions`] splits one shard's scheduling ranks into up to `k`
+//! contiguous regions, balancing per-node step-cost estimates and cutting
+//! as few channel edges as possible. Regions are *rank-contiguous*, and in
+//! a validated SAMML graph every channel edge points from a lower rank to
+//! a higher rank (the shard order is topological), so any contiguous split
+//! is acyclic in rank order: all cut channels flow forward. That is the
+//! structural property the partitioned executor relies on to bridge cut
+//! channels with time-tagged SPSC queues (see `engine.rs`).
+//!
+//! The planner is a small exact DP, not a heuristic: shard node counts are
+//! a few dozen to a few hundred, so the O(n^2 k) table is cheap and the
+//! result is deterministic (no iteration-order or RNG dependence).
+
+use fuseflow_sam::NodeKind;
+use std::ops::Range;
+
+/// Rough relative cost of stepping one node once, used only to balance
+/// regions. Scanners and arrays carry memory state machines, ALU-family
+/// nodes run the widest match arms; plumbing nodes are cheap. Exactness is
+/// irrelevant for correctness — any weights yield a valid partition.
+pub(crate) fn step_cost(kind: &NodeKind) -> u64 {
+    match kind {
+        NodeKind::Alu { .. } | NodeKind::Reduce { .. } | NodeKind::Spacc1 { .. } => 3,
+        NodeKind::LevelScanner { .. } | NodeKind::Array { .. } => 2,
+        NodeKind::Intersect | NodeKind::Union | NodeKind::UnionLeft => 2,
+        NodeKind::Repeat | NodeKind::Serializer { .. } | NodeKind::Parallelizer { .. } => 1,
+        NodeKind::Root
+        | NodeKind::CrdWriter { .. }
+        | NodeKind::ValWriter { .. }
+        | NodeKind::CrdDrop => 1,
+    }
+}
+
+/// Splits ranks `0..costs.len()` into at most `k` non-empty contiguous
+/// regions, minimizing `(max region cost, cut weight)` lexicographically.
+///
+/// `edges` are `(writer_rank, reader_rank)` pairs of the shard's channel
+/// edges; each must be forward (`writer < reader`). The cut weight of a
+/// split is the sum over chosen boundaries `s` of the number of edges
+/// spanning `s` (an edge spanning several boundaries is counted once per
+/// boundary — a deliberate heuristic that also penalizes long-haul cuts).
+///
+/// Exactly `min(k, n)` regions are produced (maximal parallelism at equal
+/// balance); ties between splits resolve to the lexicographically smallest
+/// boundary set, so the plan is deterministic.
+pub(crate) fn plan_regions(costs: &[u64], edges: &[(usize, usize)], k: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    if k <= 1 {
+        return vec![0..n];
+    }
+
+    let mut pre = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        pre[i + 1] = pre[i] + c;
+    }
+    // cross[s] = number of edges (a, b) with a < s <= b, via a difference
+    // array: each edge contributes to boundaries a+1 ..= b.
+    let mut diff = vec![0i64; n + 2];
+    for &(a, b) in edges {
+        debug_assert!(a < b, "channel edges must be forward in rank order");
+        diff[a + 1] += 1;
+        diff[b + 1] -= 1;
+    }
+    let mut cross = vec![0u64; n + 1];
+    let mut acc = 0i64;
+    for (s, slot) in cross.iter_mut().enumerate() {
+        acc += diff[s];
+        *slot = acc as u64;
+    }
+
+    // dp[j][i] = best (max region cost, cut weight) covering ranks 0..i
+    // with exactly j regions; parent[j][i] = the last boundary.
+    const UNSET: (u64, u64) = (u64::MAX, u64::MAX);
+    let mut dp = vec![vec![UNSET; n + 1]; k + 1];
+    let mut parent = vec![vec![0usize; n + 1]; k + 1];
+    for i in 1..=n {
+        dp[1][i] = (pre[i], 0);
+    }
+    for j in 2..=k {
+        for i in j..=n {
+            let mut best = UNSET;
+            let mut best_s = 0;
+            for s in (j - 1)..i {
+                let (prev_max, prev_cut) = dp[j - 1][s];
+                if prev_max == u64::MAX {
+                    continue;
+                }
+                let cand = (prev_max.max(pre[i] - pre[s]), prev_cut + cross[s]);
+                if cand < best {
+                    best = cand;
+                    best_s = s;
+                }
+            }
+            dp[j][i] = best;
+            parent[j][i] = best_s;
+        }
+    }
+
+    let mut bounds = vec![n];
+    let mut i = n;
+    for j in (2..=k).rev() {
+        i = parent[j][i];
+        bounds.push(i);
+    }
+    bounds.push(0);
+    bounds.reverse();
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// For each rank, whether any writer node (`CrdWriter` / `ValWriter`) is
+/// reachable from it along forward channel edges (a rank that *is* a
+/// writer reaches itself). The partitioned executor's termination license
+/// uses this: a bridge whose reader reaches no writer can never delay the
+/// simulated completion cycle, so it contributes no license term.
+pub(crate) fn reaches_writer(n: usize, edges: &[(usize, usize)], is_writer: &[bool]) -> Vec<bool> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut reach = is_writer.to_vec();
+    // Edges are forward, so one descending pass is a full reverse-topo DP.
+    for a in (0..n).rev() {
+        if !reach[a] {
+            reach[a] = adj[a].iter().any(|&b| reach[b]);
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so the property test needs no RNG dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self, bound: usize) -> usize {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound.max(1)
+        }
+    }
+
+    fn check_valid(regions: &[Range<usize>], n: usize, k: usize, edges: &[(usize, usize)]) {
+        // Every rank lands in exactly one region: regions are contiguous,
+        // ascending, non-empty, and tile 0..n exactly.
+        assert!(!regions.is_empty() || n == 0);
+        assert!(regions.len() <= k.max(1));
+        let mut at = 0;
+        for r in regions {
+            assert_eq!(r.start, at, "regions must tile the rank space");
+            assert!(r.end > r.start, "regions must be non-empty");
+            at = r.end;
+        }
+        assert_eq!(at, n, "regions must cover every rank");
+        // Rank-acyclic: every edge flows into the same or a later region.
+        let region_of = |rank: usize| regions.iter().position(|r| r.contains(&rank)).unwrap();
+        for &(a, b) in edges {
+            assert!(region_of(a) <= region_of(b), "cut edges must flow forward");
+        }
+    }
+
+    #[test]
+    fn k1_is_one_region_and_large_k_is_singletons() {
+        assert_eq!(plan_regions(&[1, 1, 1], &[], 1), vec![0..3]);
+        assert_eq!(plan_regions(&[1, 1, 1], &[], 9), vec![0..1, 1..2, 2..3]);
+        assert!(plan_regions(&[], &[], 4).is_empty());
+    }
+
+    #[test]
+    fn balances_by_cost() {
+        // Costs 4,1,1,1,1: the balanced 2-way split is {0} | {1,2,3,4}.
+        let r = plan_regions(&[4, 1, 1, 1, 1], &[(0, 1), (1, 2), (2, 3), (3, 4)], 2);
+        assert_eq!(r, vec![0..1, 1..5]);
+    }
+
+    #[test]
+    fn cut_weight_breaks_cost_ties() {
+        // All splits have max cost 0; edges (0,1) and (2,3) make s=2 the
+        // only zero-cut boundary.
+        let r = plan_regions(&[0, 0, 0, 0], &[(0, 1), (2, 3)], 2);
+        assert_eq!(r, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn every_rank_in_exactly_one_region_property() {
+        let mut rng = Lcg(0x5eed);
+        for _ in 0..200 {
+            let n = 1 + rng.next(40);
+            let k = 1 + rng.next(8);
+            let mut edges = Vec::new();
+            for _ in 0..rng.next(3 * n) {
+                let a = rng.next(n);
+                let b = rng.next(n);
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            let costs: Vec<u64> = (0..n).map(|_| rng.next(5) as u64).collect();
+            let regions = plan_regions(&costs, &edges, k);
+            check_valid(&regions, n, k, &edges);
+            assert_eq!(regions.len(), k.min(n), "maximal parallelism at equal balance");
+        }
+    }
+
+    #[test]
+    fn reaches_writer_follows_forward_edges() {
+        // 0 -> 1 -> 2(writer), 3 isolated, 4 -> 5 (no writer downstream).
+        let edges = [(0, 1), (1, 2), (4, 5)];
+        let is_writer = [false, false, true, false, false, false];
+        let reach = reaches_writer(6, &edges, &is_writer);
+        assert_eq!(reach, vec![true, true, true, false, false, false]);
+    }
+}

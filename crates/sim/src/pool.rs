@@ -103,4 +103,46 @@ mod tests {
         let msg = payload.downcast_ref::<String>().map(String::as_str).unwrap_or("");
         assert!(msg.contains("boom 2"), "original payload lost: {msg:?}");
     }
+
+    #[test]
+    fn zero_threads_degrades_to_sequential() {
+        // threads = 0 must clamp to 1, not panic or spawn nothing.
+        let r = parallel_map(0, vec![3, 1, 4, 1, 5], |x| x * 2);
+        assert_eq!(r, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn panic_in_last_item_still_propagates() {
+        // The last item may be claimed after other workers have already
+        // drained the cursor and exited; its panic must still surface.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(4, (0..16).collect::<Vec<i32>>(), |x| {
+                if x == 15 {
+                    panic!("tail {x}");
+                }
+                x
+            })
+        }));
+        let payload = res.unwrap_err();
+        let msg = payload.downcast_ref::<String>().map(String::as_str).unwrap_or("");
+        assert!(msg.contains("tail 15"), "last-item panic lost: {msg:?}");
+    }
+
+    #[test]
+    fn large_batch_order_stress() {
+        // Uneven per-item work scrambles the claim order across workers;
+        // the output must still land in item order, every slot filled.
+        let items: Vec<u64> = (0..4096).collect();
+        let out = parallel_map(8, items, |x| {
+            if x % 97 == 0 {
+                std::thread::yield_now();
+            }
+            x.wrapping_mul(2654435761) ^ x
+        });
+        assert_eq!(out.len(), 4096);
+        for (i, &v) in out.iter().enumerate() {
+            let x = i as u64;
+            assert_eq!(v, x.wrapping_mul(2654435761) ^ x, "slot {i} out of order");
+        }
+    }
 }

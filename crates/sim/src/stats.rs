@@ -22,6 +22,14 @@ pub struct SchedCounters {
     pub fused_chains: u64,
     /// Nodes absorbed into those chains.
     pub fused_chain_nodes: u64,
+    /// Spatial regions created by the partitioned executor
+    /// (`SimConfig::partitions`), summed over shards; 0 when unpartitioned.
+    pub partition_regions: u64,
+    /// Tokens carried across time-bridged cut channels between regions.
+    pub bridge_tokens: u64,
+    /// Region bursts that ended blocked on a bridge frontier, the
+    /// termination license, or the DRAM-order gate (not on local work).
+    pub frontier_stalls: u64,
 }
 
 impl SchedCounters {
@@ -32,6 +40,9 @@ impl SchedCounters {
         self.peak_ready = self.peak_ready.max(other.peak_ready);
         self.fused_chains += other.fused_chains;
         self.fused_chain_nodes += other.fused_chain_nodes;
+        self.partition_regions += other.partition_regions;
+        self.bridge_tokens += other.bridge_tokens;
+        self.frontier_stalls += other.frontier_stalls;
     }
 }
 
@@ -153,6 +164,9 @@ mod tests {
             peak_ready: 7,
             fused_chains: 2,
             fused_chain_nodes: 5,
+            partition_regions: 4,
+            bridge_tokens: 11,
+            frontier_stalls: 3,
         };
         assert_ne!(a, b);
         assert_eq!(a.semantic(), b.semantic());
@@ -162,6 +176,9 @@ mod tests {
         assert_eq!(a.sched.peak_ready, 7);
         assert_eq!(a.sched.fused_chains, 2);
         assert_eq!(a.sched.fused_chain_nodes, 5);
+        assert_eq!(a.sched.partition_regions, 4);
+        assert_eq!(a.sched.bridge_tokens, 11);
+        assert_eq!(a.sched.frontier_stalls, 3);
     }
 
     #[test]

@@ -513,3 +513,186 @@ fn model_zoo_gpt_attention_three_way_bit_identical() {
 fn model_zoo_map_stack_three_way_bit_identical() {
     assert_model_three_way_identical(&fuseflow_models::map_stack(16, 9, 0.3, 29));
 }
+
+// ---------------------------------------------------------------------------
+// Partitioned executor: regions x threads vs the Event oracle
+// ---------------------------------------------------------------------------
+
+/// Runs `g` under `partitions` k in {1, 2, 4} x `threads` in {1, 2, 4}
+/// (Event and Compiled routes) and asserts outputs and semantic stats are
+/// bit-identical to the unpartitioned single-threaded Event run. `k = 1`
+/// is additionally required to reproduce the Event schedule byte-for-byte,
+/// scheduler counters included (the knob routes straight to `run_event`).
+fn assert_partitioned_identical(g: &SamGraph, env: &TensorEnv, cfg: &SimConfig) -> SimResult {
+    let base = simulate(g, env, &cfg.clone().with_scheduler(Scheduler::Event)).unwrap();
+    for sched in [Scheduler::Event, Scheduler::Compiled] {
+        for parts in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4] {
+                let c =
+                    cfg.clone().with_scheduler(sched).with_partitions(parts).with_threads(threads);
+                let other = simulate(g, env, &c).unwrap();
+                assert_eq!(
+                    base.stats.semantic(),
+                    other.stats.semantic(),
+                    "semantic stats diverged for {sched:?} x {parts} partitions x {threads} threads"
+                );
+                for (name, t) in &base.outputs {
+                    assert_eq!(
+                        Some(t),
+                        other.outputs.get(name),
+                        "output '{name}' diverged for {sched:?} x {parts} partitions x \
+                         {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+    let k1 = simulate(g, env, &cfg.clone().with_partitions(1)).unwrap();
+    assert_eq!(base.stats, k1.stats, "partitions = 1 must be the Event schedule byte-for-byte");
+    base
+}
+
+#[test]
+fn spmm_partitioned_bit_identical() {
+    let a = gen::adjacency(24, 0.12, gen::GraphPattern::Uniform, 42, &Format::csr());
+    let x = gen::sparse_features(24, 16, 0.3, 7, &Format::csr());
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 24, 16);
+    let mut env = TensorEnv::new();
+    env.insert("A", a);
+    env.insert("X", x);
+    assert_partitioned_identical(&g, &env, &SimConfig::default());
+    // The partition counters must actually reflect a spatial split with
+    // live bridge traffic on this single-component graph.
+    let part =
+        simulate(&g, &env, &SimConfig::default().with_partitions(4).with_threads(4)).unwrap();
+    assert_eq!(part.stats.sched.partition_regions, 4, "expected a 4-region plan");
+    assert!(part.stats.sched.bridge_tokens > 0, "cut channels must have carried tokens");
+}
+
+/// Stretched DRAM latencies drive the calendar queue's far-heap path and
+/// make regions' clocks drift far apart between exchanges — the hard case
+/// for the frontier protocol.
+#[test]
+fn latency_dominated_graph_partitioned_bit_identical() {
+    use fuseflow_sim::TimingConfig;
+    let a = gen::adjacency(16, 0.2, gen::GraphPattern::PowerLaw, 9, &Format::csr());
+    let x = gen::sparse_features(16, 8, 0.4, 10, &Format::csr());
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 16, 8);
+    let mut env = TensorEnv::new();
+    env.insert("A", a);
+    env.insert("X", x);
+    let mut timing = TimingConfig::comal();
+    timing.dram_stream_latency = 96;
+    timing.dram_random_latency = 700;
+    timing.outstanding = 2;
+    let cfg = SimConfig { timing, ..SimConfig::default() };
+    assert_partitioned_identical(&g, &env, &cfg);
+}
+
+/// Multi-shard graphs compose both parallelism levels: shards fan out on
+/// the worker pool while each shard is itself spatially partitioned.
+#[test]
+fn multi_shard_partitioned_bit_identical() {
+    let mut g = SamGraph::new();
+    let mut env = TensorEnv::new();
+    for i in 0..3 {
+        let name = format!("B{i}");
+        let out = format!("T{i}");
+        add_copy_pipeline(&mut g, &name, &out, [12, 12]);
+        env.insert(
+            name,
+            gen::sparse_features(12, 12, 0.2 + 0.1 * i as f64, 30 + i as u64, &Format::csr()),
+        );
+    }
+    assert_partitioned_identical(&g, &env, &SimConfig::default());
+}
+
+/// Error paths must be bit-identical too, `Deadlock` diagnostics included:
+/// the partitioned executor reconstructs the exact single-threaded stall
+/// state (same cycle, same per-node residuals, same channel depths).
+#[test]
+fn partitioned_error_paths_match_event() {
+    // Exhausted cycle budget.
+    let mut g = SamGraph::new();
+    add_copy_pipeline(&mut g, "B0", "T0", [8, 8]);
+    let mut env = TensorEnv::new();
+    env.insert("B0", gen::sparse_features(8, 8, 0.3, 3, &Format::csr()));
+    let tiny = SimConfig { max_cycles: 2, ..SimConfig::default() };
+    let base = simulate(&g, &env, &tiny).unwrap_err();
+    assert_eq!(base, fuseflow_sim::SimError::MaxCycles(2));
+    for parts in [2, 4] {
+        for threads in [1, 4] {
+            let err =
+                simulate(&g, &env, &tiny.clone().with_partitions(parts).with_threads(threads))
+                    .unwrap_err();
+            assert_eq!(err, base, "budget error diverged at {parts} partitions x {threads}");
+        }
+    }
+
+    // Genuine deadlock: `outstanding = 0` starves every memory node.
+    let mut g = SamGraph::new();
+    build_spmm(&mut g, 8, 8);
+    let mut env = TensorEnv::new();
+    env.insert("A", gen::adjacency(8, 0.3, gen::GraphPattern::Uniform, 5, &Format::csr()));
+    env.insert("X", gen::sparse_features(8, 8, 0.4, 6, &Format::csr()));
+    let mut timing = fuseflow_sim::TimingConfig::comal();
+    timing.outstanding = 0;
+    let cfg = SimConfig { timing, ..SimConfig::default() };
+    let base = simulate(&g, &env, &cfg).unwrap_err();
+    assert!(matches!(base, fuseflow_sim::SimError::Deadlock { .. }));
+    for parts in [2, 4] {
+        for threads in [1, 4] {
+            let err = simulate(&g, &env, &cfg.clone().with_partitions(parts).with_threads(threads))
+                .unwrap_err();
+            assert_eq!(err, base, "deadlock diverged at {parts} partitions x {threads}");
+        }
+    }
+}
+
+#[test]
+fn partitions_knob_clamps_to_one() {
+    let cfg = SimConfig::default().with_partitions(0);
+    assert_eq!(cfg.partitions, 1);
+}
+
+/// Full-pipeline coverage: compiled models, fused (single component — the
+/// case the partitioned executor exists for), across regions x threads,
+/// DRAM-resident and on-chip (where the DRAM-order gate is vacuous and
+/// regions pipeline freely).
+#[test]
+fn model_zoo_partitioned_bit_identical() {
+    use fuseflow_core::pipeline::{compile, compile_at, run};
+    use fuseflow_models::Fusion;
+    let ds = fuseflow_models::GraphDataset {
+        name: "tiny",
+        nodes: 16,
+        feats: 8,
+        density: 0.15,
+        pattern: gen::GraphPattern::PowerLaw,
+    };
+    let m = fuseflow_models::gcn(&ds, 8, 4, 17);
+    let sched = m.schedule(Fusion::Full);
+    for compiled in [
+        compile(&m.program, &sched).unwrap(),
+        compile_at(&m.program, &sched, MemLocation::OnChip).unwrap(),
+    ] {
+        let base = run(&m.program, &compiled, &m.inputs, &SimConfig::default()).unwrap();
+        for parts in [2usize, 4] {
+            for threads in [1usize, 4] {
+                let cfg = SimConfig::default().with_partitions(parts).with_threads(threads);
+                let other = run(&m.program, &compiled, &m.inputs, &cfg).unwrap();
+                assert_eq!(
+                    base.stats.semantic(),
+                    other.stats.semantic(),
+                    "gcn stats diverged at {parts} partitions x {threads} threads"
+                );
+                assert_eq!(
+                    &base.outputs, &other.outputs,
+                    "gcn outputs diverged at {parts} partitions x {threads} threads"
+                );
+            }
+        }
+    }
+}

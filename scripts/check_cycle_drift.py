@@ -16,10 +16,18 @@ import sys
 
 
 def cycle_map(report: dict) -> dict:
-    """Flatten a BENCH_sim.json report to {"figure/label": cycles}."""
+    """Flatten a BENCH_sim.json report to {"figure/label": cycles}.
+
+    Raises ``SystemExit`` on a figure with no points: an empty figure is
+    indistinguishable from a silently broken sweep, so the report writer
+    drops point-free figures and the gate enforces that invariant.
+    """
     out = {}
     for fig in report.get("figures", []):
-        for point in fig.get("points", []):
+        points = fig.get("points", [])
+        if not points:
+            sys.exit(f"figure '{fig.get('id', '?')}' has no points — broken sweep?")
+        for point in points:
             out[f"{fig['id']}/{point['label']}"] = point["cycles"]
     for row in report.get("sched", []):
         out[f"sched/{row['workload']}"] = row["cycles"]
@@ -28,6 +36,10 @@ def cycle_map(report: dict) -> dict:
         # divergence fails CI even if the event count drifts in lockstep.
         if "cycles_compiled" in row:
             out[f"sched/{row['workload']}/compiled"] = row["cycles_compiled"]
+        # Same for the partitioned executor on workloads that measure it
+        # (partitions > 0): its cycle count is an independent gate point.
+        if row.get("partitions", 0) > 0:
+            out[f"sched/{row['workload']}/partitioned"] = row["cycles_part"]
     return out
 
 
