@@ -14,6 +14,7 @@
 
 use fuseflow_core::estimate;
 use fuseflow_core::fuse_region;
+use fuseflow_core::pipeline::compile_with;
 use fuseflow_core::pipeline::{compile, compile_at, run};
 use fuseflow_core::schedule::Schedule;
 use fuseflow_models::{
@@ -23,6 +24,7 @@ use fuseflow_models::{
 use fuseflow_sam::MemLocation;
 use fuseflow_sim::{parallel_map, Scheduler, SimConfig, Stats, TimingConfig};
 use fuseflow_tensor::gen::GraphPattern;
+use fuseflow_verify::{verify_graph, VerifyConfig, VerifyOptions};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -1082,6 +1084,103 @@ fn autotune(o: Opts) -> Points {
     points
 }
 
+/// `samcheck`: lints every model-zoo graph with the `fuseflow-verify`
+/// static analyzer, at every fusion granularity, and writes the combined
+/// report to `results/samcheck.json`.
+///
+/// Unlike the figure experiments this is a pass/fail gate, not a
+/// measurement: it is excluded from `all` (so `BENCH_sim.json`'s tracked
+/// point set stays stable) and the process exits nonzero when any
+/// error-severity diagnostic fires. CI runs it as its own step.
+fn samcheck(o: Opts) -> (Points, usize) {
+    println!("\n== samcheck: static lints over the model zoo ==");
+    let ds = GRAPH_DATASETS[0];
+    let small = GraphDataset { nodes: ds.nodes / 4, feats: ds.feats / 4, ..ds };
+    let (sae_name, sae_in, sae_batch) = SAE_DATASETS[0];
+    let models: Vec<(String, ModelInstance)> = vec![
+        (format!("sae/{sae_name}"), sae(sae_name, sae_in / 16, 48, sae_batch, 0.5, 11)),
+        (format!("gcn/{}", ds.name), gcn(&small, 16, 8, 21)),
+        (format!("graphsage/{}", ds.name), graphsage(&small, 16, 8, 23)),
+        ("gpt_attention".into(), gpt_attention(32, 8, 8, 7)),
+        ("gpt_attention_blocked".into(), gpt_attention_blocked(128, 16, 8, 91)),
+        ("gpt_decoder".into(), gpt_decoder(32, 8, 8, 1)),
+        ("map_stack".into(), map_stack(48, 24, 0.5, 9)),
+    ];
+    let mut points = Points::new();
+    let mut errors = 0usize;
+    let mut json = String::from("[");
+    let mut first = true;
+    let rows = parallel_map(o.threads, models, |(name, m)| {
+        let mut out = Vec::new();
+        for fusion in Fusion::ALL {
+            let schedule = m.schedule(fusion);
+            // Compile with enforcement off: samcheck reports every
+            // diagnostic itself instead of aborting at the first denial.
+            let compiled =
+                compile_with(&m.program, &schedule, MemLocation::Dram, &VerifyConfig::disabled())
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let fiber_hi =
+                m.program.tensors().iter().flat_map(|t| t.shape.iter()).max().map(|&d| d as u64);
+            let opts = VerifyOptions {
+                channel_capacity: sim().channel_capacity,
+                fiber_hi,
+                ..Default::default()
+            };
+            let reports: Vec<_> = compiled
+                .lowered
+                .into_iter()
+                .map(|l| (verify_graph(&l.graph, &opts), l.graph))
+                .collect();
+            out.push((name.clone(), fusion, reports));
+        }
+        out
+    });
+    for per_model in rows {
+        for (name, fusion, reports) in per_model {
+            let mut errs = 0;
+            let mut warns = 0;
+            let mut certified = 0;
+            let mut unknown = 0;
+            let mut flagged = 0;
+            for (i, (report, graph)) in reports.iter().enumerate() {
+                errs += report.errors().count();
+                warns += report.warnings().count();
+                certified += report.regions.certified;
+                unknown += report.regions.unknown;
+                flagged += report.regions.flagged;
+                if !report.is_clean() {
+                    print!("{}", report.render_human(graph));
+                }
+                if !first {
+                    json.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "{{\"model\":\"{name}\",\"fusion\":\"{fusion}\",\"region\":{i},\"report\":{}}}",
+                    report.to_json(graph)
+                );
+            }
+            println!(
+                "samcheck {name:<28} {fusion:<8} regions {:<2} errors {errs} warnings {warns} \
+                 (deadlock-free: {certified} certified, {unknown} unknown, {flagged} flagged)",
+                reports.len(),
+            );
+            points.push((format!("samcheck/{name}/{fusion}"), (errs + warns) as u64));
+            errors += errs;
+        }
+    }
+    json.push(']');
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/samcheck.json", json).ok();
+    if errors == 0 {
+        println!("samcheck: model zoo clean ({} graphs linted)", points.len());
+    } else {
+        println!("samcheck: {errors} error-severity diagnostic(s)");
+    }
+    (points, errors)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
@@ -1151,6 +1250,16 @@ fn main() {
     if want("autotune") {
         timed(&mut report, "autotune", &mut |_| autotune(opts));
     }
+    // Explicit-only (not part of `all`): a lint gate, not a figure, and
+    // keeping it out of `all` keeps BENCH_sim.json's point set stable.
+    let mut samcheck_errors = 0usize;
+    if which.iter().any(|w| w == "samcheck") {
+        timed(&mut report, "samcheck", &mut |_| {
+            let (points, errs) = samcheck(opts);
+            samcheck_errors = errs;
+            points
+        });
+    }
     let wall = t0.elapsed().as_secs_f64();
     // Only a full `all` run refreshes the tracked cross-PR report: a
     // filtered subset would clobber it with a partial point set that no
@@ -1167,4 +1276,8 @@ fn main() {
         opts.threads,
         if opts.quick { ", --quick" } else { "" }
     );
+    if samcheck_errors > 0 {
+        eprintln!("samcheck: failing with {samcheck_errors} error-severity diagnostic(s)");
+        std::process::exit(2);
+    }
 }

@@ -15,6 +15,7 @@ use crate::schedule::{IterationStyle, Schedule};
 use fuseflow_sam::MemLocation;
 use fuseflow_sim::{simulate, SimConfig, SimError, Stats, TensorEnv};
 use fuseflow_tensor::SparseTensor;
+use fuseflow_verify::{enforce, verify_graph, Report, VerifyConfig};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -29,6 +30,13 @@ pub enum PipelineError {
     Interp(InterpError),
     /// Verification mismatch.
     Verify(String),
+    /// Static analysis denied the compile (`fuseflow-verify` lints).
+    Static {
+        /// Fusion-region index whose lowered graph was rejected.
+        region: usize,
+        /// The denied diagnostics, rendered against the region graph.
+        rendered: String,
+    },
     /// Missing input binding.
     MissingInput(String),
 }
@@ -40,6 +48,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
             PipelineError::Interp(e) => write!(f, "reference failed: {e}"),
             PipelineError::Verify(m) => write!(f, "verification failed: {m}"),
+            PipelineError::Static { region, rendered } => {
+                write!(f, "static analysis rejected region {region}:\n{rendered}")
+            }
             PipelineError::MissingInput(n) => write!(f, "missing input '{n}'"),
         }
     }
@@ -74,6 +85,9 @@ pub struct Compiled {
     pub regions: Vec<FusedRegion>,
     /// Lowered graphs + fusion tables.
     pub lowered: Vec<Lowered>,
+    /// Per-region static-analysis reports (kept diagnostics only; empty
+    /// reports when verification is disabled).
+    pub verify_reports: Vec<Report>,
 }
 
 impl Compiled {
@@ -109,6 +123,36 @@ pub fn compile_at(
     program: &Program,
     schedule: &Schedule,
     location: MemLocation,
+) -> Result<Compiled, PipelineError> {
+    compile_with(program, schedule, location, &VerifyConfig::default())
+}
+
+/// The fiber-length upper bound the static analyzer sizes retention
+/// against: no fiber in any stream lowered from `program` can be longer
+/// than the largest tensor dimension.
+fn fiber_upper_bound(program: &Program) -> Option<u64> {
+    program.tensors().iter().flat_map(|t| t.shape.iter()).max().map(|&d| d as u64)
+}
+
+/// [`compile_at`] with an explicit static-analysis policy: every lowered
+/// region graph is linted by `fuseflow-verify` and diagnostics mapped to
+/// [`fuseflow_verify::Level::Deny`] abort the compile. Kept (warn-level)
+/// diagnostics land in [`Compiled::verify_reports`].
+///
+/// The analyzer's fiber upper bound is derived from the program's tensor
+/// shapes, so capacity-sizing advisories (SA013) reflect the actual
+/// problem dimensions; no fiber lower bound is assumed, so compile-time
+/// verification never claims a *guaranteed* deadlock (SA012).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Lower`] when fusion or lowering fails and
+/// [`PipelineError::Static`] when a denied lint fires.
+pub fn compile_with(
+    program: &Program,
+    schedule: &Schedule,
+    location: MemLocation,
+    verify_cfg: &VerifyConfig,
 ) -> Result<Compiled, PipelineError> {
     let ranges = schedule.resolve_regions(program.exprs().len());
     let mut regions = Vec::with_capacity(ranges.len());
@@ -155,7 +199,28 @@ pub fn compile_at(
         regions.push(region);
         lowered.push(low);
     }
-    Ok(Compiled { ranges, regions, lowered })
+    let mut verify_reports = Vec::with_capacity(lowered.len());
+    if verify_cfg.enabled {
+        let mut opts = verify_cfg.options.clone();
+        if opts.fiber_hi.is_none() {
+            opts.fiber_hi = fiber_upper_bound(program);
+        }
+        for (i, low) in lowered.iter().enumerate() {
+            let report = verify_graph(&low.graph, &opts);
+            match enforce(&report, verify_cfg) {
+                Ok(kept) => verify_reports.push(kept),
+                Err(denied) => {
+                    return Err(PipelineError::Static {
+                        region: i,
+                        rendered: denied.render_human(&low.graph),
+                    })
+                }
+            }
+        }
+    } else {
+        verify_reports.resize_with(lowered.len(), Report::default);
+    }
+    Ok(Compiled { ranges, regions, lowered, verify_reports })
 }
 
 /// The result of executing a compiled program.

@@ -84,6 +84,14 @@ pub enum GraphError {
         /// Offending node.
         node: usize,
     },
+    /// Two tensor slots or two output slots share a name. Bindings are by
+    /// name at simulation time, so duplicates would silently shadow.
+    DuplicateSlot {
+        /// The duplicated name.
+        name: String,
+        /// `true` for output slots, `false` for tensor slots.
+        output: bool,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -101,6 +109,10 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Cyclic => write!(f, "graph contains a cycle"),
             GraphError::BadSlot { node } => write!(f, "node {node} references a missing slot"),
+            GraphError::DuplicateSlot { name, output } => {
+                let kind = if *output { "output" } else { "tensor" };
+                write!(f, "duplicate {kind} slot name '{name}'")
+            }
         }
     }
 }
@@ -253,6 +265,32 @@ impl SamGraph {
         m
     }
 
+    /// Edges entering `node`, in insertion order.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.dst.node == node)
+    }
+
+    /// Edges leaving `node`, in insertion order.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.src.node == node)
+    }
+
+    /// A display anchor for a node: `label#id`.
+    pub fn node_anchor(&self, id: NodeId) -> String {
+        format!("{}#{}", self.labels[id.0], id.0)
+    }
+
+    /// A display anchor for an edge: `label#id.outP -> label#id.inQ`.
+    pub fn edge_anchor(&self, e: &Edge) -> String {
+        format!(
+            "{}.out{} -> {}.in{}",
+            self.node_anchor(e.src.node),
+            e.src.port,
+            self.node_anchor(e.dst.node),
+            e.dst.port
+        )
+    }
+
     /// Validates port ranges, single-writer inputs, required connections,
     /// slot references, and acyclicity.
     ///
@@ -260,6 +298,20 @@ impl SamGraph {
     ///
     /// Returns the first [`GraphError`] found.
     pub fn validate(&self) -> Result<(), GraphError> {
+        // Unique slot names (bindings are by name at simulation time;
+        // duplicates would silently shadow).
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.tensors {
+            if !seen.insert(t.name.as_str()) {
+                return Err(GraphError::DuplicateSlot { name: t.name.clone(), output: false });
+            }
+        }
+        seen.clear();
+        for o in &self.outputs {
+            if !seen.insert(o.name.as_str()) {
+                return Err(GraphError::DuplicateSlot { name: o.name.clone(), output: true });
+            }
+        }
         // Slot references.
         for (i, kind) in self.nodes.iter().enumerate() {
             let ok = match kind {
@@ -467,6 +519,34 @@ mod tests {
         assert!(dot.contains("digraph samml"));
         assert!(dot.contains("Root"));
         assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn duplicate_tensor_slot_rejected() {
+        let (mut g, _, _) = tiny_graph();
+        g.add_tensor("B", MemLocation::Dram); // "B" already registered
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::DuplicateSlot { name: "B".into(), output: false })
+        );
+    }
+
+    #[test]
+    fn duplicate_output_slot_rejected() {
+        let (mut g, _, _) = tiny_graph();
+        g.add_output("T", vec![2], Format::sparse_vec(), MemLocation::Dram);
+        assert_eq!(g.validate(), Err(GraphError::DuplicateSlot { name: "T".into(), output: true }));
+    }
+
+    #[test]
+    fn edge_iterators_and_anchors() {
+        let (g, ls, arr) = tiny_graph();
+        assert_eq!(g.out_edges(ls).count(), 2);
+        assert_eq!(g.in_edges(arr).count(), 1);
+        let e = g.in_edges(arr).next().unwrap();
+        let anchor = g.edge_anchor(e);
+        assert!(anchor.contains("LS[t0.l0]#1.out1"));
+        assert!(anchor.contains("Array[t0]#2.in0"));
     }
 
     #[test]

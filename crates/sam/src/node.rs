@@ -229,7 +229,11 @@ pub enum NodeKind {
     /// region). Functionally the writers tolerate empty fibers; this node
     /// exists for structural fidelity and costs pipeline cycles.
     ///
-    /// Inputs: `0: outer crd`, `1: inner crd`. Outputs: `0: outer crd`, `1: inner crd`.
+    /// The engine forwards each port independently, so the lowering also
+    /// uses it as a latency-bearing passthrough whose port 1 carries an
+    /// arbitrary payload stream (e.g. deferred values).
+    ///
+    /// Inputs: `0: outer crd`, `1: inner payload (any kind)`. Outputs mirror the inputs.
     CrdDrop,
     /// Writes the coordinates of one output level.
     ///
@@ -317,7 +321,7 @@ impl NodeKind {
             }
             NodeKind::Reduce { .. } => vec![req(Val)],
             NodeKind::Spacc1 { .. } => vec![req(Crd), req(Val)],
-            NodeKind::CrdDrop => vec![req(Crd), req(Crd)],
+            NodeKind::CrdDrop => vec![req(Crd), req_any()],
             NodeKind::CrdWriter { .. } => vec![req(Crd)],
             NodeKind::ValWriter { .. } => vec![req(Val)],
             NodeKind::Parallelizer { .. } => vec![req(Crd), opt_any()],
@@ -343,7 +347,7 @@ impl NodeKind {
             NodeKind::Alu { .. } => vec![req(Val)],
             NodeKind::Reduce { .. } => vec![req(Val)],
             NodeKind::Spacc1 { .. } => vec![req(Crd), req(Val)],
-            NodeKind::CrdDrop => vec![req(Crd), req(Crd)],
+            NodeKind::CrdDrop => vec![req(Crd), opt_any()],
             NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => vec![],
             NodeKind::Parallelizer { factor } => {
                 let mut v = Vec::new();

@@ -3485,6 +3485,16 @@ fn region_exchange(regions: &mut [&mut Region], control: &mut PartControl, cfg: 
     }
 }
 
+/// Names a channel peer by graph label when the id is a plain local node
+/// index (compiled-backend wake targets are encoded and out of range).
+fn peer_name(nodes: &[Rt], id: u32) -> String {
+    match nodes.get(id as usize) {
+        Some(n) => format!("{}#{id}", n.label),
+        None if id == NO_NODE => "ext".into(),
+        None => format!("#{id}"),
+    }
+}
+
 fn deadlock_detail(nodes: &[Rt], chans: &[Chan]) -> String {
     let mut parts = Vec::new();
     for (i, n) in nodes.iter().enumerate() {
@@ -3498,14 +3508,39 @@ fn deadlock_detail(nodes: &[Rt], chans: &[Chan]) -> String {
                 })
                 .collect();
             let outs: Vec<String> = n.out_q.iter().map(|q| q.len().to_string()).collect();
+            // Name every at-capacity output channel this node is trying to
+            // flush into, so runtime reports line up with `samcheck`'s
+            // static buffer-sizing diagnostics (SA012/SA013).
+            let mut full = Vec::new();
+            for (p, q) in n.out_q.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                for &c in &n.out_chans[p] {
+                    let ch = &chans[c];
+                    if ch.buf.len() >= ch.cap {
+                        full.push(format!(
+                            "out{p}->{} at cap {}",
+                            peer_name(nodes, ch.reader),
+                            ch.cap
+                        ));
+                    }
+                }
+            }
+            let why = if full.is_empty() {
+                String::new()
+            } else {
+                format!(" full:[{}]", full.join("; "))
+            };
             parts.push(format!(
-                "{}#{i}[in:{} outq:{} pend:{} done:{} busy:{}]",
+                "{}#{i}[in:{} outq:{} pend:{} done:{} busy:{}]{}",
                 n.label,
                 ins.join(","),
                 outs.join(","),
                 n.pending_mem.len(),
                 n.done,
-                n.busy_until
+                n.busy_until,
+                why
             ));
         }
     }

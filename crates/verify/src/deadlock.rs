@@ -1,0 +1,532 @@
+//! Pass 2: static deadlock / buffer-sizing analysis over reconvergent
+//! fan-out regions (StreamTensor-style FIFO sizing, adapted to SAMML).
+//!
+//! # Model
+//!
+//! The simulator gives every edge a bounded FIFO of `channel_capacity`
+//! tokens. A producer pushes one token per output port per cycle to *all*
+//! fan-out channels of the port in lockstep, and blocks while any of them
+//! is full; a strict join (`Intersect`/`Union`/`UnionLeft`, binary ALU,
+//! `Spacc1`, `Repeat`) commits only when every required head is present.
+//! Because SAMML graphs are DAGs, a deadlock therefore requires a
+//! *reconvergent fan-out region*: a fork `F` whose token stream reaches a
+//! strict join `J` along two edge-disjoint paths. If one path must retain
+//! `need` tokens (e.g. a `Reduce` absorbs a whole fiber before its first
+//! emission) while the sibling path can only buffer `absorb < need`
+//! tokens, `F` blocks on the sibling, the retaining path starves, and the
+//! join never commits.
+//!
+//! # Algebra
+//!
+//! Every node kind is summarized, per (input-port -> output-port) traversal,
+//! by interval bounds parameterized on the fiber-length assumption
+//! (`VerifyOptions::fiber_lo`/`fiber_hi`):
+//!
+//! * `r` — tokens it must receive before its first emission (`Reduce`:
+//!   a whole fiber plus its terminator, `L + 1`; 1:1 nodes: 1);
+//! * `m` — marginal tokens consumed per additional emission.
+//!
+//! Folding `r`/`m` backward along a path yields `need`, the tokens the
+//! fork must emit into the path before the join's first commit; folding
+//! `m` forward over the path's edges yields `absorb`, the fork-token
+//! capacity of the path (`sum of cap * product of upstream m`).
+//!
+//! # Verdicts (three-valued, per region)
+//!
+//! * **Certified** — `need_hi + slack <= absorb_lo` in both directions:
+//!   the region cannot deadlock at this capacity.
+//! * **GuaranteedDeadlock** (SA012, error) — `need_lo > absorb_hi + slack`
+//!   in some direction *and* the caller promised non-trivial fibers
+//!   (`fiber_lo >= 1`) *and* the join feeds a writer: the join's first
+//!   commit can never happen, and the starved writers deadlock the
+//!   simulation. Reports the minimum safe uniform capacity.
+//! * **Unknown** — the algebra could not bound the region (unbounded or
+//!   data-dependent retention, path overflow, non-lockstep fork). No
+//!   diagnostic is emitted: soundness claims attach only to the two
+//!   definite verdicts.
+//!
+//! Between Certified and Guaranteed lies SA013 (warning): the retention
+//! *upper* bound exceeds the sibling's buffering on a path whose retention
+//! is structural (`precise`, data-independent given the fiber promise), but
+//! the lower bound cannot prove the deadlock. This is the "your capacity is
+//! too small if fibers reach length L" advisory.
+
+use crate::diag::{Anchor, Code, Diag, RegionSummary};
+use crate::VerifyOptions;
+use fuseflow_sam::{Edge, NodeId, NodeKind, SamGraph};
+use std::collections::HashMap;
+
+/// Extra fork-side tokens to allow for a cross-port (pairwise) fork: a
+/// blocked action leaves at most one already-queued token per sibling
+/// output queue that can still flush (measured against the event
+/// simulator; see `tests/verify_soundness.rs`).
+const CROSS_PORT_SLACK: u64 = 1;
+
+/// Internal buffering of a 1:1 path node beyond its input channel (held
+/// element plus output queue), counted only on the *absorb-hi* side where
+/// overestimating is conservative.
+const NODE_SLACK: u64 = 2;
+
+/// Per-node path-traversal summary (see module docs).
+#[derive(Debug, Clone, Copy)]
+struct StepSummary {
+    r_lo: u64,
+    r_hi: Option<u64>,
+    m_lo: u64,
+    m_hi: Option<u64>,
+    /// Retention bounds are structural (data-independent given the fiber
+    /// promise), so the hi bound is a meaningful "will retain this much"
+    /// statement, not just a worst case.
+    precise: bool,
+}
+
+const SAME: StepSummary =
+    StepSummary { r_lo: 1, r_hi: Some(1), m_lo: 1, m_hi: Some(1), precise: true };
+
+/// Summarizes traversing `kind` entering at `in_port`. `None` means the
+/// node cannot be bounded (e.g. `Serializer` barriers) and poisons the
+/// region to Unknown.
+fn step_summary(kind: &NodeKind, in_port: usize, opts: &VerifyOptions) -> Option<StepSummary> {
+    let lo = opts.fiber_lo.unwrap_or(0);
+    let hi = opts.fiber_hi;
+    Some(match kind {
+        NodeKind::Array { .. } | NodeKind::CrdDrop => SAME,
+        NodeKind::Alu { .. } => SAME,
+        NodeKind::Repeat => {
+            if in_port == 0 {
+                // Base side: one element fans out over a whole rep fiber.
+                StepSummary { r_lo: 1, r_hi: Some(1), m_lo: 0, m_hi: Some(1), precise: true }
+            } else {
+                // Rep side: one output token per rep token.
+                SAME
+            }
+        }
+        NodeKind::LevelScanner { .. } => {
+            // One reference expands to a fiber: first output after one
+            // input, later outputs may need no further input.
+            StepSummary { r_lo: 1, r_hi: Some(1), m_lo: 0, m_hi: Some(1), precise: true }
+        }
+        NodeKind::Reduce { .. } => {
+            // Absorbs a whole inner fiber plus its terminating stop before
+            // each emission.
+            StepSummary {
+                r_lo: lo + 1,
+                r_hi: hi.map(|h| h + 1),
+                m_lo: lo + 1,
+                m_hi: hi.map(|h| h + 1),
+                precise: true,
+            }
+        }
+        NodeKind::Spacc1 { .. } => {
+            // Accumulates across Stop(0) boundaries, flushing on Stop(>=1):
+            // retains up to a whole outer fiber (h fibers of h elements).
+            let outer = hi.map(|h| h.saturating_mul(h + 1).saturating_add(1));
+            StepSummary { r_lo: 1, r_hi: outer, m_lo: 1, m_hi: outer, precise: false }
+        }
+        NodeKind::UnionLeft if in_port <= 1 => SAME, // left side passes through 1:1
+        NodeKind::Union => {
+            // Every head makes progress once both sides are present.
+            StepSummary { r_lo: 1, r_hi: Some(1), m_lo: 0, m_hi: Some(1), precise: true }
+        }
+        NodeKind::Intersect | NodeKind::UnionLeft => {
+            // Data-dependent: may skip a whole fiber before first emission.
+            StepSummary {
+                r_lo: 1,
+                r_hi: hi.map(|h| h + 1),
+                m_lo: 0,
+                m_hi: hi.map(|h| h + 1),
+                precise: false,
+            }
+        }
+        NodeKind::Parallelizer { factor } => {
+            // Round-robin: a branch sees every `factor`-th element, stops
+            // broadcast.
+            let f = *factor as u64;
+            StepSummary {
+                r_lo: 1,
+                r_hi: Some(f.max(1)),
+                m_lo: 0,
+                m_hi: Some(f.max(1)),
+                precise: false,
+            }
+        }
+        NodeKind::Serializer { .. } => return None, // barrier over whole units: unbounded
+        NodeKind::Root | NodeKind::CrdWriter { .. } | NodeKind::ValWriter { .. } => return None,
+    })
+}
+
+/// Strict-join input-port pairs for a node kind (only pairs whose heads
+/// must be simultaneously present for the node to commit).
+fn strict_pairs(kind: &NodeKind, connected: impl Fn(usize) -> bool) -> Vec<(usize, usize)> {
+    match kind {
+        NodeKind::Repeat => vec![(0, 1)],
+        NodeKind::Alu { op } if op.arity() == 2 => vec![(0, 1)],
+        NodeKind::Spacc1 { .. } => vec![(0, 1)],
+        NodeKind::Intersect | NodeKind::Union | NodeKind::UnionLeft => {
+            let ports: Vec<usize> = (0..4).filter(|&p| connected(p)).collect();
+            let mut pairs = Vec::new();
+            for i in 0..ports.len() {
+                for j in i + 1..ports.len() {
+                    pairs.push((ports[i], ports[j]));
+                }
+            }
+            pairs
+        }
+        _ => vec![],
+    }
+}
+
+/// How tightly a fork's two diverging edges are coupled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForkClass {
+    /// Same output port: identical tokens cloned to both channels, blocked
+    /// as one.
+    Cloned,
+    /// Different ports emitted pairwise by one action (scanner crd/ref,
+    /// join crd/payload, spacc crd/val, a parallelizer branch's own pair).
+    Lockstep,
+    /// No useful coupling (independent or round-robin ports).
+    Loose,
+}
+
+fn fork_class(kind: &NodeKind, port_a: usize, port_b: usize) -> ForkClass {
+    if port_a == port_b {
+        return ForkClass::Cloned;
+    }
+    match kind {
+        NodeKind::LevelScanner { .. }
+        | NodeKind::Intersect
+        | NodeKind::Union
+        | NodeKind::UnionLeft
+        | NodeKind::Spacc1 { .. } => ForkClass::Lockstep,
+        NodeKind::Parallelizer { .. } if port_a / 2 == port_b / 2 => ForkClass::Lockstep,
+        _ => ForkClass::Loose,
+    }
+}
+
+/// Folded bounds for one fork-to-join path (edges in fork-to-join order;
+/// interior nodes are everything strictly between).
+#[derive(Debug, Clone)]
+struct PathSummary {
+    /// Fork tokens the path must receive before the join's first commit.
+    need_lo: u64,
+    need_hi: Option<u64>,
+    /// Fork-token buffering of the path per unit of channel capacity
+    /// (`sum over edges of product of upstream m_lo`); always >= 1.
+    absorb_units_lo: u64,
+    /// Upper bound on fork tokens the path can absorb, including node
+    /// slack (None when unbounded).
+    absorb_hi: Option<u64>,
+    /// All interior retention is structural.
+    precise: bool,
+}
+
+fn summarize_path(g: &SamGraph, path: &[Edge], opts: &VerifyOptions) -> Option<PathSummary> {
+    let cap = opts.channel_capacity as u64;
+    // Interior nodes with their entry ports: path[i].src entered via
+    // path[i-1].dst.port, for i >= 1.
+    let mut steps = Vec::with_capacity(path.len().saturating_sub(1));
+    for i in 1..path.len() {
+        let node = path[i].src.node;
+        let in_port = path[i - 1].dst.port;
+        steps.push(step_summary(g.node(node), in_port, opts)?);
+    }
+    // Backward fold for need.
+    let mut need_lo: u64 = 1;
+    let mut need_hi: Option<u64> = Some(1);
+    let mut precise = true;
+    for s in steps.iter().rev() {
+        need_lo = s.r_lo.saturating_add((need_lo - 1).saturating_mul(s.m_lo));
+        need_hi = match (need_hi, s.r_hi, s.m_hi) {
+            (Some(n), Some(r), Some(m)) => Some(r.saturating_add((n - 1).saturating_mul(m))),
+            _ => None,
+        };
+        precise &= s.precise;
+    }
+    // Forward fold for absorb: each edge buffers `cap` local tokens, each
+    // worth `product of upstream m` fork tokens; interior nodes add their
+    // own retention plus queue slack on the hi side.
+    let mut units_lo: u64 = 1; // first edge, product over zero nodes
+    let mut mult_lo: u64 = 1;
+    let mut absorb_hi: Option<u64> = Some(cap);
+    let mut mult_hi: Option<u64> = Some(1);
+    for (i, s) in steps.iter().enumerate() {
+        let _ = i;
+        mult_lo = mult_lo.saturating_mul(s.m_lo);
+        units_lo = units_lo.saturating_add(mult_lo);
+        mult_hi = match (mult_hi, s.m_hi) {
+            (Some(a), Some(m)) => Some(a.saturating_mul(m)),
+            _ => None,
+        };
+        absorb_hi = match (absorb_hi, mult_hi, s.r_hi) {
+            (Some(a), Some(mh), Some(r)) => Some(
+                a.saturating_add(mh.saturating_mul(cap))
+                    .saturating_add((r - 1 + NODE_SLACK).saturating_mul(mh)),
+            ),
+            _ => None,
+        };
+    }
+    Some(PathSummary { need_lo, need_hi, absorb_units_lo: units_lo, absorb_hi, precise })
+}
+
+/// Enumerates every source-rooted simple path ending at `end` (an input
+/// port), as edge lists in source-to-join order. `None` on overflow.
+fn paths_up(
+    g: &SamGraph,
+    fanin: &HashMap<(NodeId, usize), fuseflow_sam::Port>,
+    end: (NodeId, usize),
+    max: usize,
+) -> Option<Vec<Vec<Edge>>> {
+    let mut out: Vec<Vec<Edge>> = Vec::new();
+    // Depth-first over reverse edges; `acc` holds edges join-side-first.
+    fn rec(
+        g: &SamGraph,
+        node: NodeId,
+        acc: &mut Vec<Edge>,
+        out: &mut Vec<Vec<Edge>>,
+        max: usize,
+    ) -> bool {
+        let ins: Vec<Edge> = g.in_edges(node).copied().collect();
+        if ins.is_empty() {
+            if out.len() >= max {
+                return false;
+            }
+            let mut path = acc.clone();
+            path.reverse();
+            out.push(path);
+            return true;
+        }
+        for e in ins {
+            acc.push(e);
+            let ok = rec(g, e.src.node, acc, out, max);
+            acc.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    let Some(src) = fanin.get(&end) else {
+        return Some(out); // unconnected port: no paths
+    };
+    let first = Edge { src: *src, dst: fuseflow_sam::Port { node: end.0, port: end.1 } };
+    let mut acc = vec![first];
+    if rec(g, src.node, &mut acc, &mut out, max) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// One reconvergent region instance: the suffixes of a path pair from
+/// their last common node.
+struct RegionInstance<'a> {
+    fork: NodeId,
+    path_a: &'a [Edge],
+    path_b: &'a [Edge],
+}
+
+/// Finds the closest-to-join common node of two source-rooted paths whose
+/// next edges differ; shared suffixes mean the reconvergence belongs to an
+/// earlier join and are skipped.
+fn diverge_region<'a>(pa: &'a [Edge], pb: &'a [Edge]) -> Option<RegionInstance<'a>> {
+    let pos_b: HashMap<usize, usize> =
+        pb.iter().enumerate().map(|(i, e)| (e.src.node.0, i)).collect();
+    // Walk pa from the join end towards the source.
+    for ia in (0..pa.len()).rev() {
+        let n = pa[ia].src.node;
+        if let Some(&ib) = pos_b.get(&n.0) {
+            if pa[ia] == pb[ib] {
+                return None; // identical diverging edge: shared suffix
+            }
+            return Some(RegionInstance { fork: n, path_a: &pa[ia..], path_b: &pb[ib..] });
+        }
+    }
+    None
+}
+
+/// Per-region aggregated verdict, used for the summary counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Verdict {
+    Certified,
+    Unknown,
+    Warned,
+    Guaranteed,
+}
+
+/// Runs the deadlock pass. `live[n]` marks nodes from which a writer is
+/// reachable (from the dead-code pass); guarantees are only issued for
+/// joins whose starvation actually wedges a writer.
+pub(crate) fn check_deadlock(
+    g: &SamGraph,
+    opts: &VerifyOptions,
+    live: &[bool],
+    diags: &mut Vec<Diag>,
+) -> RegionSummary {
+    let fanin = g.fanin();
+    let cap = opts.channel_capacity as u64;
+    // verdict + strongest diagnostic per unique (fork, join, edge_a, edge_b).
+    type Key = (usize, usize, (usize, usize, usize, usize), (usize, usize, usize, usize));
+    let mut regions: HashMap<Key, (Verdict, Option<Diag>)> = HashMap::new();
+    let mut overflow_pairs = 0usize;
+
+    for (j_idx, kind) in g.nodes().iter().enumerate() {
+        let join = NodeId(j_idx);
+        let pairs = strict_pairs(kind, |p| fanin.contains_key(&(join, p)));
+        for (a, b) in pairs {
+            if !fanin.contains_key(&(join, a)) || !fanin.contains_key(&(join, b)) {
+                continue;
+            }
+            let (Some(paths_a), Some(paths_b)) = (
+                paths_up(g, &fanin, (join, a), opts.max_paths),
+                paths_up(g, &fanin, (join, b), opts.max_paths),
+            ) else {
+                overflow_pairs += 1;
+                continue;
+            };
+            for pa in &paths_a {
+                for pb in &paths_b {
+                    let Some(inst) = diverge_region(pa, pb) else { continue };
+                    let ea = inst.path_a[0];
+                    let eb = inst.path_b[0];
+                    let key: Key = (
+                        inst.fork.0,
+                        j_idx,
+                        (ea.src.node.0, ea.src.port, ea.dst.node.0, ea.dst.port),
+                        (eb.src.node.0, eb.src.port, eb.dst.node.0, eb.dst.port),
+                    );
+                    let (verdict, diag) = analyze_instance(g, opts, live, join, &inst, cap);
+                    let entry = regions.entry(key).or_insert((Verdict::Certified, None));
+                    if verdict > entry.0 {
+                        *entry = (verdict, diag);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut summary = RegionSummary::default();
+    summary.unknown += overflow_pairs;
+    let mut keys: Vec<&Key> = regions.keys().collect();
+    keys.sort();
+    for k in keys {
+        let (verdict, diag) = &regions[k];
+        match verdict {
+            Verdict::Certified => summary.certified += 1,
+            Verdict::Unknown => summary.unknown += 1,
+            Verdict::Warned | Verdict::Guaranteed => {
+                summary.flagged += 1;
+                if let Some(d) = diag {
+                    diags.push(d.clone());
+                }
+            }
+        }
+    }
+    summary
+}
+
+fn analyze_instance(
+    g: &SamGraph,
+    opts: &VerifyOptions,
+    live: &[bool],
+    join: NodeId,
+    inst: &RegionInstance<'_>,
+    cap: u64,
+) -> (Verdict, Option<Diag>) {
+    let class = fork_class(g.node(inst.fork), inst.path_a[0].src.port, inst.path_b[0].src.port);
+    if class == ForkClass::Loose {
+        return (Verdict::Unknown, None);
+    }
+    let slack = match class {
+        ForkClass::Cloned => 0,
+        _ => CROSS_PORT_SLACK,
+    };
+    let (Some(sa), Some(sb)) =
+        (summarize_path(g, inst.path_a, opts), summarize_path(g, inst.path_b, opts))
+    else {
+        return (Verdict::Unknown, None);
+    };
+
+    // Certified: both directions fit at this capacity. A lockstep
+    // cross-port fork buffers `slack` extra tokens on the sibling side
+    // (its stuck output-queue entry still lets the paired port flush).
+    let fits = |need: &Option<u64>, sibling: &PathSummary| -> Option<bool> {
+        need.map(|n| n <= cap.saturating_mul(sibling.absorb_units_lo).saturating_add(slack))
+    };
+    if fits(&sa.need_hi, &sb) == Some(true) && fits(&sb.need_hi, &sa) == Some(true) {
+        return (Verdict::Certified, None);
+    }
+
+    // Minimum uniform capacity making both directions fit (None when a
+    // needed hi bound is unknown).
+    let min_safe = match (sa.need_hi, sb.need_hi) {
+        (Some(na), Some(nb)) => Some(
+            (na.saturating_sub(slack).div_ceil(sb.absorb_units_lo))
+                .max(nb.saturating_sub(slack).div_ceil(sa.absorb_units_lo))
+                .max(1),
+        ),
+        _ => None,
+    };
+
+    let anchors = |retaining: &[Edge]| -> Vec<Anchor> {
+        let mut v = vec![Anchor::Node(join), Anchor::Node(inst.fork)];
+        v.extend(retaining.iter().map(|e| Anchor::Edge(*e)));
+        v
+    };
+
+    // Guaranteed: the retaining path's lower-bound need exceeds what the
+    // sibling can possibly absorb, fibers are promised non-trivial, and
+    // the join feeds a writer.
+    let guaranteed = |retain: &PathSummary, sib: &PathSummary| -> bool {
+        opts.fiber_lo.unwrap_or(0) >= 1
+            && live.get(join.0).copied().unwrap_or(false)
+            && sib.absorb_hi.map(|ab| retain.need_lo > ab.saturating_add(slack)).unwrap_or(false)
+    };
+    for (retain, sib, path) in [(&sb, &sa, inst.path_b), (&sa, &sb, inst.path_a)] {
+        if guaranteed(retain, sib) {
+            let mut d = Diag::new(
+                Code::SA012,
+                anchors(path),
+                format!(
+                    "guaranteed deadlock: path from {} to {} must retain at least {} tokens \
+                     before the join can commit, but its sibling buffers at most {}",
+                    g.node_anchor(inst.fork),
+                    g.node_anchor(join),
+                    retain.need_lo,
+                    sib.absorb_hi.unwrap_or(u64::MAX).saturating_add(slack),
+                ),
+            );
+            if let Some(c) = min_safe {
+                d = d.with_min_safe_capacity(c);
+            }
+            return (Verdict::Guaranteed, Some(d));
+        }
+    }
+
+    // Possible deadlock: structural retention exceeds the sibling's
+    // certified buffering, but the lower bound cannot prove it.
+    for (retain, sib, path) in [(&sb, &sa, inst.path_b), (&sa, &sb, inst.path_a)] {
+        if let Some(n) = retain.need_hi {
+            if retain.precise && n.saturating_add(slack) > cap.saturating_mul(sib.absorb_units_lo) {
+                let mut d = Diag::new(
+                    Code::SA013,
+                    anchors(path),
+                    format!(
+                        "possible deadlock: path from {} to {} may retain up to {} tokens \
+                         before the join can commit, exceeding its sibling's buffering of {}",
+                        g.node_anchor(inst.fork),
+                        g.node_anchor(join),
+                        n,
+                        cap.saturating_mul(sib.absorb_units_lo),
+                    ),
+                );
+                if let Some(c) = min_safe {
+                    d = d.with_min_safe_capacity(c);
+                }
+                return (Verdict::Warned, Some(d));
+            }
+        }
+    }
+
+    (Verdict::Unknown, None)
+}

@@ -1,0 +1,294 @@
+//! Structured diagnostics: stable lint codes, severities, anchors, and
+//! human/JSON rendering.
+
+use fuseflow_sam::{Edge, NodeId, SamGraph};
+
+/// Stable lint codes emitted by the analyzer. The numeric part never
+/// changes meaning across releases; retired codes are not reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// Stream-kind mismatch across an edge (e.g. a `crd` output feeding a
+    /// `val` input).
+    SA010,
+    /// Stream nesting-depth mismatch at a strict join (the runtime
+    /// manifestation is a `Semantics` stream-misalignment error).
+    SA011,
+    /// Guaranteed capacity-induced deadlock on a reconvergent fan-out
+    /// region: the retention lower bound of one path exceeds the total
+    /// buffering of its sibling.
+    SA012,
+    /// Possible capacity-induced deadlock: the retention *upper* bound
+    /// exceeds the sibling's buffering, but the lower bound does not prove
+    /// it. Reports the minimum safe uniform capacity.
+    SA013,
+    /// Dead node: no `CrdWriter`/`ValWriter` is reachable from it, so it
+    /// can never influence an output.
+    SA014,
+    /// Unused tensor slot: no `LevelScanner`/`Array` references it.
+    SA015,
+    /// Output slot with no `ValWriter`: the output can never be produced.
+    SA016,
+}
+
+impl Code {
+    /// All known codes, in numeric order.
+    pub const ALL: [Code; 7] =
+        [Code::SA010, Code::SA011, Code::SA012, Code::SA013, Code::SA014, Code::SA015, Code::SA016];
+
+    /// The stable string form, e.g. `"SA012"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::SA010 => "SA010",
+            Code::SA011 => "SA011",
+            Code::SA012 => "SA012",
+            Code::SA013 => "SA013",
+            Code::SA014 => "SA014",
+            Code::SA015 => "SA015",
+            Code::SA016 => "SA016",
+        }
+    }
+
+    /// Parses a code from its string form.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The severity this code carries by default.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::SA010 | Code::SA011 | Code::SA012 | Code::SA016 => Severity::Error,
+            Code::SA013 | Code::SA014 | Code::SA015 => Severity::Warning,
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; the graph may still execute correctly.
+    Warning,
+    /// The graph is wrong or will fail at runtime.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// A node.
+    Node(NodeId),
+    /// An edge (stream).
+    Edge(Edge),
+    /// An input tensor slot, by index.
+    TensorSlot(usize),
+    /// An output slot, by index.
+    OutputSlot(usize),
+}
+
+impl Anchor {
+    /// Renders the anchor with display labels resolved against `g`.
+    pub fn render(&self, g: &SamGraph) -> String {
+        match self {
+            Anchor::Node(n) => g.node_anchor(*n),
+            Anchor::Edge(e) => g.edge_anchor(e),
+            Anchor::TensorSlot(i) => match g.tensors().get(*i) {
+                Some(t) => format!("tensor '{}'", t.name),
+                None => format!("tensor slot {i}"),
+            },
+            Anchor::OutputSlot(i) => match g.outputs().get(*i) {
+                Some(o) => format!("output '{}'", o.name),
+                None => format!("output slot {i}"),
+            },
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diag {
+    /// Stable lint code.
+    pub code: Code,
+    /// Severity (the code's default unless a config overrides rendering).
+    pub severity: Severity,
+    /// What the diagnostic points at; the first anchor is primary.
+    pub anchors: Vec<Anchor>,
+    /// Human-readable description.
+    pub message: String,
+    /// For SA012/SA013: the smallest uniform channel capacity under which
+    /// the flagged region cannot deadlock.
+    pub min_safe_capacity: Option<u64>,
+}
+
+impl Diag {
+    /// Builds a diagnostic with the code's default severity.
+    pub fn new(code: Code, anchors: Vec<Anchor>, message: impl Into<String>) -> Self {
+        Diag {
+            code,
+            severity: code.default_severity(),
+            anchors,
+            message: message.into(),
+            min_safe_capacity: None,
+        }
+    }
+
+    /// Attaches a minimum safe capacity (SA012/SA013).
+    pub fn with_min_safe_capacity(mut self, cap: u64) -> Self {
+        self.min_safe_capacity = Some(cap);
+        self
+    }
+
+    /// Renders `error[SA010]: message (at anchor, anchor)`.
+    pub fn render(&self, g: &SamGraph) -> String {
+        let at = self.anchors.iter().map(|a| a.render(g)).collect::<Vec<_>>().join(", ");
+        let cap = match self.min_safe_capacity {
+            Some(c) => format!(" [min safe capacity {c}]"),
+            None => String::new(),
+        };
+        format!("{}[{}]: {}{} (at {})", self.severity, self.code, self.message, cap, at)
+    }
+}
+
+/// Summary of the deadlock pass's reconvergent-region verdicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Regions proven deadlock-free at the given capacity.
+    pub certified: usize,
+    /// Regions the lag algebra could not bound (no diagnostic emitted).
+    pub unknown: usize,
+    /// Regions flagged SA012 or SA013.
+    pub flagged: usize,
+}
+
+/// The analyzer's full result for one graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All diagnostics, in pass order.
+    pub diags: Vec<Diag>,
+    /// Deadlock-pass region verdict counts.
+    pub regions: RegionSummary,
+}
+
+impl Report {
+    /// Diagnostics with `Error` severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Diagnostics with `Warning` severity.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when no diagnostics at all were emitted.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Diagnostics carrying a given code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// Renders a human-readable report, one diagnostic per line, followed
+    /// by the region-verdict summary.
+    pub fn render_human(&self, g: &SamGraph) -> String {
+        let mut s = String::new();
+        for d in &self.diags {
+            s.push_str(&d.render(g));
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "{} error(s), {} warning(s); regions: {} certified, {} unknown, {} flagged\n",
+            self.errors().count(),
+            self.warnings().count(),
+            self.regions.certified,
+            self.regions.unknown,
+            self.regions.flagged,
+        ));
+        s
+    }
+
+    /// Renders the report as a JSON object (no external dependencies; the
+    /// build environment is offline).
+    pub fn to_json(&self, g: &SamGraph) -> String {
+        let mut s = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":{},\"anchors\":[",
+                d.code,
+                d.severity,
+                json_str(&d.message)
+            ));
+            for (j, a) in d.anchors.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(&a.render(g)));
+            }
+            s.push(']');
+            if let Some(c) = d.min_safe_capacity {
+                s.push_str(&format!(",\"min_safe_capacity\":{c}"));
+            }
+            s.push('}');
+        }
+        s.push_str(&format!(
+            "],\"regions\":{{\"certified\":{},\"unknown\":{},\"flagged\":{}}}}}",
+            self.regions.certified, self.regions.unknown, self.regions.flagged
+        ));
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::parse("SA999"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

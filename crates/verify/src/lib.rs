@@ -1,0 +1,393 @@
+//! Static verification and lint passes over SAMML dataflow graphs.
+//!
+//! The simulator only discovers stream-kind mismatches, capacity-induced
+//! deadlocks, and dead subgraphs at runtime — as a `Semantics` error, a
+//! `SimError::Deadlock` at cycle N, or silently wasted hardware. This crate
+//! moves those checks before simulation: a multi-pass analyzer over
+//! [`SamGraph`] emitting structured diagnostics with stable lint codes.
+//!
+//! | code  | severity | pass |
+//! |-------|----------|------|
+//! | SA010 | error    | stream-kind mismatch across an edge |
+//! | SA011 | error    | stream nesting-depth mismatch at a strict join |
+//! | SA012 | error    | guaranteed capacity-induced deadlock (reconvergent fan-out) |
+//! | SA013 | warning  | possible deadlock; reports the minimum safe capacity |
+//! | SA014 | warning  | dead node (no writer reachable) |
+//! | SA015 | warning  | unused tensor slot |
+//! | SA016 | error    | output slot with no value writer |
+//!
+//! The deadlock pass (see [`deadlock`]'s module docs for the model and the
+//! soundness argument) produces a three-valued verdict per reconvergent
+//! region — *Certified* / *Unknown* / *GuaranteedDeadlock* — and only the
+//! definite verdicts carry soundness claims, which the sim-backed
+//! differential suite in `tests/verify_soundness.rs` enforces: certified
+//! graphs never deadlock under any scheduler/thread/partition combination,
+//! and guaranteed-deadlock graphs always do.
+//!
+//! # Example
+//!
+//! ```
+//! use fuseflow_sam::{MemLocation, NodeKind, SamGraph, AluOp};
+//! use fuseflow_verify::{verify_graph, Code, VerifyOptions};
+//!
+//! // A crd stream feeding a val port: SA010.
+//! let mut g = SamGraph::new();
+//! let b = g.add_tensor("B", MemLocation::OnChip);
+//! let o = g.add_output("T", vec![4], fuseflow_tensor::Format::sparse_vec(), MemLocation::OnChip);
+//! let root = g.add_node(NodeKind::Root);
+//! let ls = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+//! let vw = g.add_node(NodeKind::ValWriter { output: o });
+//! g.connect(root, 0, ls, 0);
+//! g.connect(ls, 0, vw, 0); // crd -> val input
+//! let report = verify_graph(&g, &VerifyOptions::default());
+//! assert!(report.with_code(Code::SA010).count() == 1);
+//! ```
+
+mod dead;
+mod deadlock;
+mod diag;
+mod kinds;
+
+pub use diag::{Anchor, Code, Diag, RegionSummary, Report, Severity};
+
+use fuseflow_sam::SamGraph;
+
+/// Knobs for the analyzer.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Uniform bounded-channel capacity the deadlock pass sizes against
+    /// (the simulator's `SimConfig::channel_capacity`).
+    pub channel_capacity: usize,
+    /// Promise that every fiber in every stream carries at least this many
+    /// elements. Enables *GuaranteedDeadlock* verdicts (SA012); without it
+    /// retention lower bounds collapse and the pass reports at most SA013.
+    pub fiber_lo: Option<u64>,
+    /// Upper bound on fiber length (e.g. the largest program dimension).
+    /// Enables *Certified* verdicts and SA013 advisories; without it,
+    /// retention-bearing regions stay Unknown.
+    pub fiber_hi: Option<u64>,
+    /// Cap on source-rooted paths enumerated per join input; overflowing
+    /// pairs are counted Unknown rather than analyzed partially.
+    pub max_paths: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions { channel_capacity: 256, fiber_lo: None, fiber_hi: None, max_paths: 64 }
+    }
+}
+
+/// What to do with a diagnostic code during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Keep it in the report; do not fail the compile.
+    Warn,
+    /// Fail the compile.
+    Deny,
+}
+
+/// Per-code policy for wiring the analyzer into a compile pipeline:
+/// error-severity codes deny by default, warnings warn; both can be
+/// overridden per code.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Master switch; `false` skips verification entirely.
+    pub enabled: bool,
+    /// Analyzer knobs.
+    pub options: VerifyOptions,
+    /// Per-code overrides of the default level.
+    pub overrides: Vec<(Code, Level)>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig { enabled: true, options: VerifyOptions::default(), overrides: Vec::new() }
+    }
+}
+
+impl VerifyConfig {
+    /// A config that skips verification.
+    pub fn disabled() -> Self {
+        VerifyConfig { enabled: false, ..Default::default() }
+    }
+
+    /// The effective level for a code.
+    pub fn level(&self, code: Code) -> Level {
+        for (c, l) in &self.overrides {
+            if *c == code {
+                return *l;
+            }
+        }
+        match code.default_severity() {
+            Severity::Error => Level::Deny,
+            Severity::Warning => Level::Warn,
+        }
+    }
+
+    /// Overrides one code's level (builder style).
+    pub fn with_level(mut self, code: Code, level: Level) -> Self {
+        self.overrides.retain(|(c, _)| *c != code);
+        self.overrides.push((code, level));
+        self
+    }
+}
+
+/// Runs all passes over a graph and collects the report.
+///
+/// The graph should already pass [`SamGraph::validate`]; structurally
+/// invalid edges are skipped rather than reported (validation owns them).
+pub fn verify_graph(g: &SamGraph, opts: &VerifyOptions) -> Report {
+    let mut diags = Vec::new();
+    kinds::check_kinds(g, &mut diags);
+    kinds::check_depths(g, &mut diags);
+    let live = dead::check_dead(g, &mut diags);
+    let regions = deadlock::check_deadlock(g, opts, &live, &mut diags);
+    Report { diags, regions }
+}
+
+/// Applies a [`VerifyConfig`] to a report: allowed diagnostics are
+/// dropped, and the denied subset (if any) is returned as `Err`.
+///
+/// # Errors
+///
+/// Returns the denied diagnostics when any diagnostic maps to
+/// [`Level::Deny`].
+pub fn enforce(report: &Report, cfg: &VerifyConfig) -> Result<Report, Report> {
+    let mut kept = Report { diags: Vec::new(), regions: report.regions };
+    let mut denied = false;
+    for d in &report.diags {
+        match cfg.level(d.code) {
+            Level::Allow => {}
+            Level::Warn => kept.diags.push(d.clone()),
+            Level::Deny => {
+                kept.diags.push(d.clone());
+                denied = true;
+            }
+        }
+    }
+    if denied {
+        Err(kept)
+    } else {
+        Ok(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseflow_sam::{AluOp, MemLocation, NodeId, NodeKind, ReduceOp, SamGraph};
+    use fuseflow_tensor::Format;
+
+    /// A minimal clean graph: root -> scan -> (crd writer, array -> val
+    /// writer).
+    fn clean_graph() -> SamGraph {
+        let mut g = SamGraph::new();
+        let b = g.add_tensor("B", MemLocation::OnChip);
+        let o = g.add_output("T", vec![4], Format::sparse_vec(), MemLocation::OnChip);
+        let root = g.add_node(NodeKind::Root);
+        let ls = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+        let cw = g.add_node(NodeKind::CrdWriter { output: o, level: 0 });
+        let arr = g.add_node(NodeKind::Array { tensor: b });
+        let vw = g.add_node(NodeKind::ValWriter { output: o });
+        g.connect(root, 0, ls, 0);
+        g.connect(ls, 0, cw, 0);
+        g.connect(ls, 1, arr, 0);
+        g.connect(arr, 0, vw, 0);
+        g
+    }
+
+    /// The reconvergent softmax-normalization shape: vals fan out to a
+    /// direct ALU operand and to Reduce -> Repeat, which must absorb a
+    /// whole fiber before the ALU's first commit.
+    fn reconvergent_graph() -> SamGraph {
+        let mut g = SamGraph::new();
+        let b = g.add_tensor("B", MemLocation::OnChip);
+        let o = g.add_output("T", vec![8], Format::sparse_vec(), MemLocation::OnChip);
+        let root = g.add_node(NodeKind::Root);
+        let ls = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+        let arr = g.add_node(NodeKind::Array { tensor: b });
+        let red = g.add_node(NodeKind::Reduce { op: ReduceOp::Sum });
+        let rep = g.add_node(NodeKind::Repeat);
+        let div = g.add_node(NodeKind::Alu { op: AluOp::Div });
+        let cw = g.add_node(NodeKind::CrdWriter { output: o, level: 0 });
+        let vw = g.add_node(NodeKind::ValWriter { output: o });
+        g.connect(root, 0, ls, 0);
+        g.connect(ls, 0, cw, 0);
+        g.connect(ls, 0, rep, 1); // rep signal
+        g.connect(ls, 1, arr, 0);
+        g.connect(arr, 0, div, 0); // direct operand
+        g.connect(arr, 0, red, 0); // fiber-absorbing sibling
+        g.connect(red, 0, rep, 0); // repeat base
+        g.connect(rep, 0, div, 1);
+        g.connect(div, 0, vw, 0);
+        g
+    }
+
+    #[test]
+    fn clean_graph_is_clean() {
+        let g = clean_graph();
+        assert!(g.validate().is_ok());
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert!(r.is_clean(), "unexpected diagnostics:\n{}", r.render_human(&g));
+        assert!(r.regions.flagged == 0);
+    }
+
+    #[test]
+    fn sa010_kind_mismatch() {
+        let mut g = clean_graph();
+        // crd output into a val input.
+        let vw2 = g.add_node(NodeKind::Alu { op: AluOp::Relu });
+        g.connect(NodeId(1), 0, vw2, 0); // LS crd -> ALU val
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert_eq!(r.with_code(Code::SA010).count(), 1);
+        let d = r.with_code(Code::SA010).next().unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.render(&g).contains("crd"));
+    }
+
+    #[test]
+    fn sa011_depth_mismatch_at_alu() {
+        // Two scanners at different nesting depths joined by a binary ALU.
+        let mut g = SamGraph::new();
+        let b = g.add_tensor("B", MemLocation::OnChip);
+        let o = g.add_output("T", vec![4], Format::sparse_vec(), MemLocation::OnChip);
+        let root = g.add_node(NodeKind::Root);
+        let ls0 = g.add_node(NodeKind::LevelScanner { tensor: b, level: 0 });
+        let ls1 = g.add_node(NodeKind::LevelScanner { tensor: b, level: 1 });
+        let a0 = g.add_node(NodeKind::Array { tensor: b });
+        let a1 = g.add_node(NodeKind::Array { tensor: b });
+        let alu = g.add_node(NodeKind::Alu { op: AluOp::Add });
+        let vw = g.add_node(NodeKind::ValWriter { output: o });
+        g.connect(root, 0, ls0, 0);
+        g.connect(ls0, 1, ls1, 0); // depth 2 below
+        g.connect(ls0, 1, a0, 0); // depth 1 vals
+        g.connect(ls1, 1, a1, 0); // depth 2 vals
+        g.connect(a0, 0, alu, 0);
+        g.connect(a1, 0, alu, 1);
+        g.connect(alu, 0, vw, 0);
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert!(r.with_code(Code::SA011).count() >= 1, "report:\n{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn sa011_clean_on_aligned_joins() {
+        let g = reconvergent_graph();
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert_eq!(r.with_code(Code::SA011).count(), 0, "report:\n{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn sa012_guaranteed_deadlock_with_min_safe_capacity() {
+        let g = reconvergent_graph();
+        assert!(g.validate().is_ok());
+        // Fibers of exactly 8 elements; capacity 4 cannot hold the 9
+        // tokens (8 elems + stop) the Reduce path retains.
+        let opts = VerifyOptions {
+            channel_capacity: 4,
+            fiber_lo: Some(8),
+            fiber_hi: Some(8),
+            ..Default::default()
+        };
+        let r = verify_graph(&g, &opts);
+        assert!(r.with_code(Code::SA012).count() >= 1, "report:\n{}", r.render_human(&g));
+        let min = r.with_code(Code::SA012).filter_map(|d| d.min_safe_capacity).max();
+        assert_eq!(min, Some(9));
+    }
+
+    #[test]
+    fn sa012_absent_at_adequate_capacity() {
+        let g = reconvergent_graph();
+        let opts = VerifyOptions {
+            channel_capacity: 9,
+            fiber_lo: Some(8),
+            fiber_hi: Some(8),
+            ..Default::default()
+        };
+        let r = verify_graph(&g, &opts);
+        assert_eq!(r.with_code(Code::SA012).count(), 0, "report:\n{}", r.render_human(&g));
+        assert!(r.regions.certified >= 1);
+    }
+
+    #[test]
+    fn sa013_possible_deadlock_without_lower_bound() {
+        let g = reconvergent_graph();
+        // Upper bound only: flagged as possible, not guaranteed.
+        let opts = VerifyOptions {
+            channel_capacity: 4,
+            fiber_lo: None,
+            fiber_hi: Some(8),
+            ..Default::default()
+        };
+        let r = verify_graph(&g, &opts);
+        assert_eq!(r.with_code(Code::SA012).count(), 0, "report:\n{}", r.render_human(&g));
+        assert!(r.with_code(Code::SA013).count() >= 1, "report:\n{}", r.render_human(&g));
+        let d = r.with_code(Code::SA013).next().unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        // Two reconvergent regions are flagged; the binding one (the cloned
+        // Array fan-out) needs capacity 9 to hold a full fiber plus stop.
+        let min = r.with_code(Code::SA013).filter_map(|d| d.min_safe_capacity).max();
+        assert_eq!(min, Some(9));
+    }
+
+    #[test]
+    fn sa014_dead_node() {
+        let mut g = clean_graph();
+        let dead = g.add_node(NodeKind::Alu { op: AluOp::Relu });
+        g.connect(NodeId(3), 0, dead, 0); // array vals into a sink that reaches no writer
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert_eq!(r.with_code(Code::SA014).count(), 1);
+    }
+
+    #[test]
+    fn sa015_unused_tensor_slot() {
+        let mut g = clean_graph();
+        g.add_tensor("C", MemLocation::OnChip);
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert_eq!(r.with_code(Code::SA015).count(), 1);
+        assert!(r.with_code(Code::SA015).next().unwrap().render(&g).contains("'C'"));
+    }
+
+    #[test]
+    fn sa016_output_without_value_writer() {
+        let mut g = clean_graph();
+        g.add_output("U", vec![4], Format::sparse_vec(), MemLocation::OnChip);
+        let r = verify_graph(&g, &VerifyOptions::default());
+        assert_eq!(r.with_code(Code::SA016).count(), 1);
+        assert_eq!(r.with_code(Code::SA016).next().unwrap().severity, Severity::Error);
+    }
+
+    #[test]
+    fn json_rendering_is_structured() {
+        let g = reconvergent_graph();
+        let opts = VerifyOptions {
+            channel_capacity: 4,
+            fiber_lo: Some(8),
+            fiber_hi: Some(8),
+            ..Default::default()
+        };
+        let r = verify_graph(&g, &opts);
+        let json = r.to_json(&g);
+        assert!(json.contains("\"code\":\"SA012\""));
+        assert!(json.contains("\"min_safe_capacity\":9"));
+        assert!(json.contains("\"regions\":"));
+    }
+
+    #[test]
+    fn enforce_levels() {
+        let mut g = clean_graph();
+        g.add_tensor("C", MemLocation::OnChip); // SA015 warning
+        let r = verify_graph(&g, &VerifyOptions::default());
+        // Default: warning kept, compile proceeds.
+        assert!(enforce(&r, &VerifyConfig::default()).is_ok());
+        // Denied: compile fails.
+        let deny = VerifyConfig::default().with_level(Code::SA015, Level::Deny);
+        assert!(enforce(&r, &deny).is_err());
+        // Allowed: dropped entirely.
+        let allow = VerifyConfig::default().with_level(Code::SA015, Level::Allow);
+        assert!(enforce(&r, &allow).unwrap().is_clean());
+        // Disabled config still enforces nothing when used by callers.
+        assert!(!VerifyConfig::disabled().enabled);
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! See [`fuseflow_core`] for the compiler, [`fuseflow_sim`] for the
 //! streaming-dataflow simulator, [`fuseflow_models`] for the evaluated
-//! model zoo, and [`fuseflow_tensor`] for the sparse-tensor substrate.
+//! model zoo, [`fuseflow_verify`] for the static graph analyzer, and
+//! [`fuseflow_tensor`] for the sparse-tensor substrate.
 pub use fuseflow_core as core;
 pub use fuseflow_models as models;
 pub use fuseflow_sam as sam;
 pub use fuseflow_sim as sim;
 pub use fuseflow_tensor as tensor;
+pub use fuseflow_verify as verify;
